@@ -1,0 +1,54 @@
+"""Aggregate time-structure fidelity (beyond the paper's tables).
+
+The paper validates event mixes and per-UE CDFs; the reason the model
+exists is to drive MCNs with *realistically bursty aggregates*.  This
+bench compares the synthesized aggregate stream's burstiness against
+the real trace's and against a Poisson stream of the same volume —
+the proposed model should preserve the variance-time structure that
+Poisson synthesis destroys.
+"""
+
+import numpy as np
+
+from repro.stats import poisson_reference_curve, variance_time_curve, burstiness_gap
+from repro.validation import compare_aggregate, format_table
+
+from conftest import write_result
+
+
+def test_aggregate_burstiness_preserved(benchmark, scenario2):
+    real = scenario2["real"]
+    ours = scenario2["synthesized"]["ours"]
+
+    cmp = benchmark.pedantic(
+        compare_aggregate, args=(real, ours), rounds=1, iterations=1
+    )
+
+    duration = max(float(real.times.max()), float(ours.times.max())) + 1.0
+    rng = np.random.default_rng(17)
+    real_vt = variance_time_curve(real.times, duration=duration)
+    ours_vt = variance_time_curve(ours.times, duration=duration)
+    poisson_vt = poisson_reference_curve(
+        len(real) / duration, duration, rng
+    )
+    ours_gap = burstiness_gap(ours_vt, poisson_vt)
+    real_gap = burstiness_gap(real_vt, poisson_vt)
+
+    rows = [
+        ["volume ratio (ours/real)", f"{cmp.volume_ratio:.2f}"],
+        ["per-minute rate K-S distance", f"{cmp.rate_distribution_ydistance:.3f}"],
+        ["burstiness gap ours-real (log10, mean)", f"{cmp.burstiness_gap_mean:+.3f}"],
+        ["burstiness over Poisson: real", f"{real_gap[-4:].mean():+.3f}"],
+        ["burstiness over Poisson: ours", f"{ours_gap[-4:].mean():+.3f}"],
+    ]
+    text = format_table(
+        ["Metric", "Value"],
+        rows,
+        title="Aggregate fidelity: synthesized vs real busy-hour stream",
+    )
+    write_result("aggregate_fidelity", text)
+
+    # Shape: volume within 2x; synthesized aggregate retains most of the
+    # real burstiness advantage over Poisson at large time scales.
+    assert 0.5 < cmp.volume_ratio < 2.0
+    assert ours_gap[-4:].mean() > 0.3 * real_gap[-4:].mean()

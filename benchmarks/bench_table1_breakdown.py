@@ -1,0 +1,59 @@
+"""Table 1: breakdown of control-plane events per device type.
+
+Regenerates the paper's Table 1 from the (simulated) collection trace:
+the percentage of each of the six event types for phones, connected
+cars, and tablets.  The shape to reproduce: SRV_REQ/S1_CONN_REL carry
+~84-93% of events; connected cars have the largest HO and TAU shares;
+ATCH/DTCH stay around or below ~1-2%.
+"""
+
+from repro.trace import ALL_EVENT_TYPES, DeviceType, breakdown_table
+from repro.validation import format_table
+
+from conftest import write_result
+
+#: Paper's Table 1, for side-by-side reference (percent).
+PAPER_TABLE1 = {
+    "ATCH": (0.1, 0.9, 1.2),
+    "DTCH": (0.2, 0.9, 1.1),
+    "SRV_REQ": (45.5, 38.9, 43.9),
+    "S1_CONN_REL": (47.5, 45.2, 47.7),
+    "HO": (3.8, 6.6, 2.1),
+    "TAU": (2.9, 7.4, 4.0),
+}
+
+
+def test_table1_event_breakdown(benchmark, collection_trace):
+    table = benchmark.pedantic(
+        breakdown_table, args=(collection_trace,), rounds=1, iterations=1
+    )
+
+    rows = []
+    for event in ALL_EVENT_TYPES:
+        measured = [100 * table[dt][event] for dt in DeviceType]
+        paper = PAPER_TABLE1[event.name]
+        rows.append(
+            [event.name]
+            + [f"{v:.1f}%" for v in measured]
+            + [f"{v:.1f}%" for v in paper]
+        )
+    text = format_table(
+        ["Event", "P", "CC", "T", "paper P", "paper CC", "paper T"],
+        rows,
+        title="Table 1: breakdown of control-plane events (measured vs paper)",
+    )
+    write_result("table1_breakdown", text)
+
+    # Shape assertions.
+    for dt in DeviceType:
+        dominant = (
+            table[dt][ALL_EVENT_TYPES[2]] + table[dt][ALL_EVENT_TYPES[3]]
+        )
+        assert dominant > 0.75, f"{dt.name}: dominant events {dominant:.2f}"
+    cc = DeviceType.CONNECTED_CAR
+    assert table[cc][ALL_EVENT_TYPES[5]] == max(
+        table[dt][ALL_EVENT_TYPES[5]] for dt in DeviceType
+    ), "connected cars must have the largest TAU share"
+    assert table[cc][ALL_EVENT_TYPES[4]] > table[DeviceType.TABLET][
+        ALL_EVENT_TYPES[4]
+    ], "connected cars out-HO tablets"

@@ -1,0 +1,80 @@
+"""Table 7: projected 5G NSA / 5G SA event breakdowns.
+
+Scales the fitted LTE model to 5G NSA (HO x4.6) and 5G SA (HO x3.0,
+TAU removed), synthesizes traffic, and reports the projected breakdown
+per device type.  Shapes to reproduce: HO share rises sharply versus
+LTE for every device; NSA > SA; SA has no TAU; connected cars remain
+the most HO-heavy device.
+"""
+
+from repro.fiveg import nsa_breakdown, sa_breakdown
+from repro.generator import TrafficGenerator
+from repro.model import scale_to_nsa, scale_to_sa
+from repro.trace import DeviceType, EventType
+from repro.validation import format_table
+
+from conftest import SCENARIO1_UES, write_result
+
+
+def _project(ours_model, busy_hour):
+    nsa_model = scale_to_nsa(ours_model)
+    sa_model = scale_to_sa(ours_model)
+    traces = {
+        "lte": TrafficGenerator(ours_model).generate(
+            SCENARIO1_UES, start_hour=busy_hour, num_hours=1, seed=55
+        ),
+        "nsa": TrafficGenerator(nsa_model).generate(
+            SCENARIO1_UES, start_hour=busy_hour, num_hours=1, seed=55
+        ),
+        "sa": TrafficGenerator(sa_model).generate(
+            SCENARIO1_UES, start_hour=busy_hour, num_hours=1, seed=55
+        ),
+    }
+    return traces
+
+
+def test_table7_5g_projection(benchmark, method_models, busy_hour):
+    traces = benchmark.pedantic(
+        _project, args=(method_models["ours"], busy_hour), rounds=1, iterations=1
+    )
+
+    rows = []
+    for dt in DeviceType:
+        lte_bd = nsa_breakdown(traces["lte"], dt)
+        nsa_bd = nsa_breakdown(traces["nsa"], dt)
+        sa_bd = sa_breakdown(traces["sa"], dt)
+        for lte_name, nsa_name, sa_name in (
+            ("ATCH", "ATCH", "REGISTER"),
+            ("DTCH", "DTCH", "DEREGISTER"),
+            ("SRV_REQ", "SRV_REQ", "SRV_REQ"),
+            ("S1_CONN_REL", "S1_CONN_REL", "AN_REL"),
+            ("HO", "HO", "HO"),
+            ("TAU", "TAU", None),
+        ):
+            rows.append(
+                [
+                    dt.short_name,
+                    f"{lte_name}/{sa_name or '-'}",
+                    f"{100 * lte_bd[lte_name]:.1f}%",
+                    f"{100 * nsa_bd[nsa_name]:.1f}%",
+                    f"{100 * sa_bd[sa_name]:.1f}%" if sa_name else "-",
+                ]
+            )
+    text = format_table(
+        ["Dev", "Event (4G/5G)", "LTE", "5G NSA", "5G SA"],
+        rows,
+        title=(
+            "Table 7: projected breakdown under 5G "
+            "(paper: phones HO 3.8% -> 15.4% NSA / 10.9% SA)"
+        ),
+    )
+    write_result("table7_5g", text)
+
+    for dt in DeviceType:
+        lte_ho = nsa_breakdown(traces["lte"], dt)["HO"]
+        nsa_ho = nsa_breakdown(traces["nsa"], dt)["HO"]
+        sa_ho = sa_breakdown(traces["sa"], dt)["HO"]
+        assert nsa_ho > sa_ho > lte_ho, (
+            f"{dt.name}: HO ordering lte={lte_ho:.3f} sa={sa_ho:.3f} nsa={nsa_ho:.3f}"
+        )
+        assert nsa_breakdown(traces["sa"], dt)["TAU"] == 0.0

@@ -1,0 +1,71 @@
+"""Table 8: goodness-of-fit pass rates WITHOUT clustering.
+
+For each device type, the percentage of 1-hour intervals whose
+inter-arrival times (six event types) or EMM/ECM state sojourns pass
+the K-S / Anderson-Darling tests for the classic families.  The paper
+reports 0.0% everywhere without clustering; the shape to reproduce is
+pass rates at or near zero across the board.
+"""
+
+from repro.analysis import TESTS, gof_study
+from repro.trace import DeviceType
+from repro.validation import format_table
+
+from conftest import START_HOUR, write_result
+
+QUANTITY_ORDER = (
+    "ATCH", "DTCH", "SRV_REQ", "S1_CONN_REL", "HO", "TAU",
+    "REGISTERED", "DEREGISTERED", "CONNECTED", "IDLE",
+)
+
+
+def _study_all_devices(trace):
+    return {
+        dt: gof_study(
+            trace, dt, clustered=False, trace_start_hour=START_HOUR
+        )
+        for dt in DeviceType
+    }
+
+
+def test_table8_gof_without_clustering(benchmark, collection_trace):
+    results = benchmark.pedantic(
+        _study_all_devices, args=(collection_trace,), rounds=1, iterations=1
+    )
+
+    rows = []
+    for test in TESTS:
+        for dt in DeviceType:
+            rates = results[dt].rates[test]
+            rows.append(
+                [test, dt.short_name]
+                + [
+                    f"{100 * rates.get(q, float('nan')):.1f}%"
+                    if q in results[dt].combos
+                    else "-"
+                    for q in QUANTITY_ORDER
+                ]
+            )
+    text = format_table(
+        ["Test", "Dev"] + list(QUANTITY_ORDER),
+        rows,
+        title="Table 8: % of 1-hour intervals passing GoF tests (no clustering; paper: ~0%)",
+    )
+    write_result("table8_gof_noclust", text)
+
+    # Shape: pooled per-device traffic is far from the classic
+    # families.  Weibull is reported but not asserted: its 2-parameter
+    # flexibility lets it pass K-S at the reduced per-combo sample
+    # sizes of the default 1/100 scale (the paper's 0% cells rest on
+    # ~100x more samples).
+    for dt in DeviceType:
+        for test in ("poisson_ks", "poisson_ad", "pareto_ks", "tcplib_ks"):
+            rates = [
+                results[dt].rates[test][q]
+                for q in ("SRV_REQ", "S1_CONN_REL", "CONNECTED", "IDLE")
+                if q in results[dt].combos
+            ]
+            assert rates, f"{dt.name}/{test}: nothing testable"
+            assert max(rates) <= 0.35, (
+                f"{dt.name}/{test}: unexpectedly high pass rate {max(rates):.2f}"
+            )

@@ -1,0 +1,78 @@
+"""Table 9: goodness-of-fit pass rates WITH adaptive clustering.
+
+Same study as Table 8, but per adaptive UE cluster.  The paper finds
+clustering helps marginally (ATCH/DTCH up to ~24% under A²; Weibull up
+to 40% on some quantities) but the bulk of quantities still fail —
+which motivates the empirical-CDF model.  Shape to reproduce: pass
+rates remain low for the dominant quantities.
+"""
+
+from repro.analysis import TESTS, gof_study
+from repro.trace import DeviceType
+from repro.validation import format_table
+
+from conftest import START_HOUR, THETA_N, write_result
+
+QUANTITY_ORDER = (
+    "ATCH", "DTCH", "SRV_REQ", "S1_CONN_REL", "HO", "TAU",
+    "REGISTERED", "DEREGISTERED", "CONNECTED", "IDLE",
+)
+
+
+def _study_all_devices(trace):
+    return {
+        dt: gof_study(
+            trace,
+            dt,
+            clustered=True,
+            theta_n=THETA_N,
+            trace_start_hour=START_HOUR,
+        )
+        for dt in DeviceType
+    }
+
+
+def test_table9_gof_with_clustering(benchmark, collection_trace):
+    results = benchmark.pedantic(
+        _study_all_devices, args=(collection_trace,), rounds=1, iterations=1
+    )
+
+    rows = []
+    for test in TESTS:
+        for dt in DeviceType:
+            rates = results[dt].rates[test]
+            rows.append(
+                [test, dt.short_name]
+                + [
+                    f"{100 * rates.get(q, 0.0):.1f}%"
+                    if q in results[dt].combos
+                    else "-"
+                    for q in QUANTITY_ORDER
+                ]
+            )
+    text = format_table(
+        ["Test", "Dev"] + list(QUANTITY_ORDER),
+        rows,
+        title=(
+            "Table 9: % of (hour, cluster) combos passing GoF tests "
+            "(with clustering; paper: <5% KS / <24% A2 for events, <1.4% states)"
+        ),
+    )
+    write_result("table9_gof_clust", text)
+
+    # Shape assertions target the quantities with real statistical
+    # power at this scale: the CONNECTED/IDLE sojourns (paper: <1.4%
+    # pass) and the A2 test on the dominant events (paper: <23.8%).
+    # Small per-cluster samples make the K-S event rows lenient at
+    # 1/100 scale; they are reported but not asserted.
+    for dt in DeviceType:
+        for q in ("CONNECTED", "IDLE"):
+            if q in results[dt].combos:
+                assert results[dt].rates["poisson_ks"][q] <= 0.10, (
+                    f"{dt.name}/{q}: Poisson K-S pass rate too high"
+                )
+        for q in ("SRV_REQ", "S1_CONN_REL"):
+            if q in results[dt].combos:
+                assert results[dt].rates["poisson_ad"][q] <= 0.35, (
+                    f"{dt.name}/{q}: Poisson A2 pass rate too high"
+                )

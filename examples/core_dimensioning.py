@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Dimensioning a full mobile core with realistic control traffic.
+
+Drives the procedure-level core simulator (MME/HSS/SGW/PGW for LTE,
+AMF/UDM/SMF/UPF for 5G SA) with model-generated traffic and answers
+three operator questions:
+
+1. Which network function saturates first as the population grows?
+2. What are the end-to-end procedure latencies under busy-hour load?
+3. How does migrating the same UEs to a 5G SA core shift the load
+   (HO storm -> AMF/SMF pressure)?
+
+Run:  python examples/core_dimensioning.py
+"""
+
+import repro
+from repro.mcn import CoreNetworkSimulator
+from repro.model import scale_to_sa
+from repro.trace import DeviceType
+
+START_HOUR = 18
+POPULATIONS = (200, 400, 800)
+
+TRAIN_UES = {
+    DeviceType.PHONE: 110,
+    DeviceType.CONNECTED_CAR: 45,
+    DeviceType.TABLET: 30,
+}
+
+
+def main() -> None:
+    print("== fitting the traffic model ==")
+    real = repro.simulate_ground_truth(
+        TRAIN_UES, duration=3 * 3600.0, seed=31, start_hour=START_HOUR
+    )
+    lte_model = repro.fit_model_set(real, theta_n=40, trace_start_hour=START_HOUR)
+    sa_model = scale_to_sa(lte_model)
+
+    print("\n== 1. growth: per-function utilization (EPC, 2 workers each) ==")
+    print(f"{'UEs':>6s} {'events':>8s}  " + "  ".join(f"{nf:>6s}" for nf in
+                                                      ("MME", "HSS", "SGW", "PGW")))
+    for population in POPULATIONS:
+        trace = repro.TrafficGenerator(lte_model).generate(
+            population, start_hour=START_HOUR + 1, num_hours=1, seed=13
+        )
+        report = CoreNetworkSimulator("epc", workers=2, seed=1).process(trace)
+        utils = "  ".join(
+            f"{report.functions[nf].utilization:6.1%}"
+            for nf in ("MME", "HSS", "SGW", "PGW")
+        )
+        print(f"{population:6d} {report.num_events:8,d}  {utils}"
+              f"   <- bottleneck: {report.bottleneck()}")
+
+    print("\n== 2. procedure latencies at the largest population (EPC) ==")
+    trace = repro.TrafficGenerator(lte_model).generate(
+        POPULATIONS[-1], start_hour=START_HOUR + 1, num_hours=1, seed=13
+    )
+    report = CoreNetworkSimulator("epc", workers=2, seed=1).process(trace)
+    print(f"{'procedure':>22s} {'count':>8s} {'mean':>9s} {'p99':>9s}")
+    for name, proc in sorted(report.procedures.items()):
+        print(f"{name:>22s} {proc.count:8,d} "
+              f"{proc.mean_latency * 1e3:7.2f}ms {proc.p99_latency * 1e3:7.2f}ms")
+
+    print("\n== 3. the same UEs on a 5G SA core ==")
+    sa_trace = repro.TrafficGenerator(sa_model).generate(
+        POPULATIONS[-1], start_hour=START_HOUR + 1, num_hours=1, seed=13
+    )
+    sa_report = CoreNetworkSimulator("5gc", workers=2, seed=1).process(sa_trace)
+    print(f"   events: {report.num_events:,} (EPC) vs {sa_report.num_events:,} (5GC)")
+    print(f"   messages: {report.num_messages:,} vs {sa_report.num_messages:,}")
+    for epc_nf, sa_nf in (("MME", "AMF"), ("HSS", "UDM"), ("SGW", "SMF"), ("PGW", "UPF")):
+        print(f"   {epc_nf:4s} {report.functions[epc_nf].utilization:6.1%}  ->  "
+              f"{sa_nf:4s} {sa_report.functions[sa_nf].utilization:6.1%}")
+    print("   (the 5G HO storm shifts control load toward the session\n"
+          "    path: SMF/UPF see relatively more work than SGW/PGW did)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""MCN load testing: sizing an MME with realistic control traffic.
+
+The paper's headline use case (§3.1): drive an MCN design with
+realistic control-plane workload to evaluate and size it.  This example
+
+* fits the proposed model once,
+* synthesizes busy-hour traffic at growing UE populations,
+* finds the smallest MME worker pool meeting a p99 queueing-delay SLO,
+* contrasts tail latency under realistic (bursty) traffic with a
+  Poisson stream of identical volume — the burstiness the paper
+  documents in §4.2 is exactly what breaks naive capacity plans, and
+* shows that traffic from the `Base` baseline would mis-drive the MME
+  (protocol violations from HO-in-IDLE).
+
+Run:  python examples/mcn_loadtest.py
+"""
+
+import numpy as np
+
+import repro
+from repro.baselines import fit_method
+from repro.mcn import MmeSimulator
+from repro.trace import DeviceType, Trace
+
+START_HOUR = 18
+SLO_P99_SECONDS = 0.05
+POPULATIONS = (200, 400, 800)
+
+TRAIN_UES = {
+    DeviceType.PHONE: 110,
+    DeviceType.CONNECTED_CAR: 40,
+    DeviceType.TABLET: 30,
+}
+
+
+def poisson_twin(trace: Trace, seed: int = 0) -> Trace:
+    """A Poisson stream with the same event mix and volume as `trace`."""
+    rng = np.random.default_rng(seed)
+    duration = float(trace.times.max()) if len(trace) else 3600.0
+    times = np.sort(rng.uniform(0.0, duration, len(trace)))
+    return Trace(
+        trace.ue_ids.copy(),
+        times,
+        trace.event_types.copy(),
+        trace.device_types.copy(),
+        validate=False,
+    )
+
+
+def smallest_pool_meeting_slo(trace: Trace) -> int:
+    for workers in (1, 2, 3, 4, 6, 8, 12, 16, 24, 32):
+        report = MmeSimulator(num_workers=workers).process(trace)
+        if report.p99_wait <= SLO_P99_SECONDS:
+            return workers
+    return -1
+
+
+def main() -> None:
+    print("== fitting the traffic model ==")
+    real = repro.simulate_ground_truth(
+        TRAIN_UES, duration=3 * 3600.0, seed=3, start_hour=START_HOUR
+    )
+    model = fit_method("ours", real, theta_n=40, trace_start_hour=START_HOUR)
+    generator = repro.TrafficGenerator(model)
+
+    print(f"\n== MME sizing for a p99 wait SLO of {SLO_P99_SECONDS * 1e3:.0f} ms ==")
+    print(f"{'UEs':>6s} {'events/h':>9s} {'workers':>8s} "
+          f"{'p99(real)':>10s} {'p99(poisson)':>13s}")
+    for population in POPULATIONS:
+        trace = generator.generate(
+            population, start_hour=START_HOUR + 1, num_hours=1, seed=11
+        )
+        twin = poisson_twin(trace, seed=11)
+        workers = smallest_pool_meeting_slo(trace)
+        real_report = MmeSimulator(num_workers=max(workers, 1)).process(trace)
+        twin_report = MmeSimulator(num_workers=max(workers, 1)).process(twin)
+        print(f"{population:6d} {len(trace):9,d} {workers:8d} "
+              f"{real_report.p99_wait * 1e3:8.2f}ms "
+              f"{twin_report.p99_wait * 1e3:11.2f}ms")
+    print("   (bursty realistic traffic needs the capacity; a Poisson\n"
+          "    stream of the same volume underestimates the tail)")
+
+    print("\n== what happens with baseline-synthesized traffic? ==")
+    base_model = fit_method("base", real, trace_start_hour=START_HOUR)
+    base_trace = repro.TrafficGenerator(base_model).generate(
+        POPULATIONS[0], start_hour=START_HOUR + 1, num_hours=1, seed=11
+    )
+    ours_trace = generator.generate(
+        POPULATIONS[0], start_hour=START_HOUR + 1, num_hours=1, seed=11
+    )
+    for name, trace in (("ours", ours_trace), ("base", base_trace)):
+        report = MmeSimulator(num_workers=4).process(trace)
+        print(f"   {name:5s}: {report.num_events:7,d} events, "
+              f"{report.protocol_violations:6,d} protocol violations "
+              f"({report.protocol_violations / report.num_events:.1%})")
+    print("   (an MME driven by Base traffic spends its time rejecting\n"
+          "    impossible transitions - HO while IDLE - instead of doing\n"
+          "    representative work)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""repro — reproduction of "Modeling and Generating Control-Plane Traffic
+for Cellular Networks" (Meng et al., IMC '23).
+
+The library provides everything the paper describes, end to end:
+
+* :mod:`repro.groundtruth` — a behaviour-driven UE population simulator
+  standing in for the proprietary carrier trace;
+* :mod:`repro.statemachines` — the 3GPP EMM/ECM machines, the paper's
+  two-level machine (Fig. 5) and its 5G SA variant (Fig. 6), plus trace
+  replay;
+* :mod:`repro.distributions` / :mod:`repro.stats` — the classic
+  candidate families, MLE fitting, K–S / Anderson–Darling tests, ECDF
+  distances, and variance–time burstiness analysis (§4);
+* :mod:`repro.clustering` — the adaptive quadtree UE clustering (§5.3);
+* :mod:`repro.model` — the two-level semi-Markov traffic model, the
+  first-event model, the fitting pipeline, persistence, and 4G→5G
+  parameter scaling (§5–§6);
+* :mod:`repro.generator` — the per-UE traffic generator for arbitrary
+  populations (§7);
+* :mod:`repro.baselines` — the Base/V1/V2 comparison methods (Table 3);
+* :mod:`repro.validation` — the macroscopic/microscopic fidelity
+  metrics of §8;
+* :mod:`repro.mcn` — a small MME queueing model that consumes the
+  generated traffic.
+
+Quickstart::
+
+    import repro
+
+    real = repro.simulate_ground_truth(1000, duration=24 * 3600.0, seed=1)
+    model = repro.fit_model_set(real, theta_n=50)
+    synth = repro.TrafficGenerator(model).generate(5000, start_hour=19)
+"""
+
+from .baselines import fit_method
+from .generator import TrafficGenerator
+from .groundtruth import simulate_ground_truth
+from .mcn import MmeSimulator
+from .model import (
+    ModelSet,
+    fit_model_set,
+    scale_to_nsa,
+    scale_to_sa,
+)
+from .statemachines import (
+    emm_ecm_machine,
+    nr_sa_machine,
+    two_level_machine,
+)
+from .trace import (
+    DeviceType,
+    Event,
+    EventType,
+    NrEventType,
+    Trace,
+    read_csv,
+    read_npz,
+    write_csv,
+    write_npz,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeviceType",
+    "Event",
+    "EventType",
+    "MmeSimulator",
+    "ModelSet",
+    "NrEventType",
+    "Trace",
+    "TrafficGenerator",
+    "__version__",
+    "emm_ecm_machine",
+    "fit_method",
+    "fit_model_set",
+    "nr_sa_machine",
+    "read_csv",
+    "read_npz",
+    "scale_to_nsa",
+    "scale_to_sa",
+    "simulate_ground_truth",
+    "two_level_machine",
+    "write_csv",
+    "write_npz",
+]

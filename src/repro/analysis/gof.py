@@ -1,0 +1,226 @@
+"""The goodness-of-fit study of §4 / Appendix A (Tables 8, 9, 10).
+
+For every (device type, hour, UE cluster) combination the study pools
+
+* per-UE **inter-arrival times** of each of the six event types,
+* **sojourn times** in the four EMM/ECM states
+  (REGISTERED / DEREGISTERED / CONNECTED / IDLE), and
+* sojourn times of the nine **second-level transitions** of the
+  two-level machine (Table 10),
+
+fits each candidate family by MLE, and runs the K–S test (plus the
+Anderson–Darling test for the Poisson/exponential case).  The reported
+number is the percentage of (hour, cluster) combinations whose samples
+pass at the 5% significance level — the paper finds close to 0% nearly
+everywhere, which is the motivation for the empirical-CDF model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..clustering.quadtree import (
+    DEFAULT_THETA_F,
+    DEFAULT_THETA_N,
+    adaptive_cluster,
+    single_cluster,
+)
+from ..distributions import CLASSIC_FAMILIES
+from ..distributions.base import FitError
+from ..model.fitting import _build_segments, _hour_features, _replay_segments
+from ..statemachines import lte
+from ..statemachines.lte import SECOND_LEVEL_TRANSITIONS, two_level_machine
+from ..statemachines.replay import top_level_intervals
+from ..stats.anderson import anderson_exponential
+from ..stats.ks import fit_and_ks_test
+from ..trace.events import SECONDS_PER_HOUR, DeviceType, EventType
+from ..trace.trace import Trace
+
+#: The four EMM/ECM states whose sojourn the paper fits (§4.1.1).
+EMM_ECM_STATES = ("REGISTERED", "DEREGISTERED", "CONNECTED", "IDLE")
+
+#: Test names reported in the tables.
+TESTS = ("poisson_ks", "poisson_ad", "pareto_ks", "weibull_ks", "tcplib_ks")
+
+#: Minimum pooled samples for a (hour, cluster, quantity) to be testable.
+#: Below this the K-S/A² tests have almost no power and "pass" rates are
+#: meaningless (the paper's trace gives every combination thousands of
+#: samples).
+MIN_SAMPLES = 50
+
+
+@dataclasses.dataclass
+class GofResult:
+    """Pass rates of one study: ``rates[test][quantity] = fraction``.
+
+    ``combos[quantity]`` counts how many (hour, cluster) combinations
+    were testable for that quantity.
+    """
+
+    device_type: DeviceType
+    rates: Dict[str, Dict[str, float]]
+    combos: Dict[str, int]
+
+
+def _interarrivals_by_event(
+    segments,
+) -> Dict[EventType, List[float]]:
+    """Merge within-UE inter-arrival times per event type (§4.1.1)."""
+    pooled: Dict[EventType, List[float]] = {e: [] for e in EventType}
+    for seg in segments:
+        for event in EventType:
+            times = seg.times[seg.event_types == int(event)]
+            if times.size >= 2:
+                pooled[event].extend(np.diff(times).tolist())
+    return pooled
+
+
+def _state_sojourns(segments, machine) -> Dict[str, List[float]]:
+    """Pool sojourn durations of the four EMM/ECM states."""
+    pooled: Dict[str, List[float]] = {s: [] for s in EMM_ECM_STATES}
+    for seg in segments:
+        intervals = top_level_intervals(seg.records, machine)
+        # CONNECTED / IDLE / DEREGISTERED come straight from the replay;
+        # REGISTERED spans maximal runs of CONNECTED+IDLE.
+        run_start: Optional[float] = None
+        run_ok = True
+        for interval in intervals:
+            if interval.complete:
+                if interval.state in (lte.CONNECTED, lte.IDLE):
+                    pooled[interval.state].append(interval.duration)
+                elif interval.state == lte.DEREGISTERED:
+                    pooled["DEREGISTERED"].append(interval.duration)
+            if interval.state in (lte.CONNECTED, lte.IDLE):
+                if run_start is None:
+                    run_start = interval.start
+                    run_ok = interval.start is not None
+            else:
+                if run_start is not None and run_ok and interval.start is not None:
+                    pooled["REGISTERED"].append(interval.start - run_start)
+                run_start = None
+                run_ok = True
+    return pooled
+
+
+def _transition_sojourns(segments) -> Dict[Tuple[str, EventType], List[float]]:
+    """Pool sojourns of the nine second-level transitions (Table 10)."""
+    wanted = set(SECOND_LEVEL_TRANSITIONS)
+    pooled: Dict[Tuple[str, EventType], List[float]] = {k: [] for k in wanted}
+    for seg in segments:
+        for rec in seg.records:
+            key = (rec.source, rec.event)
+            if key in wanted and rec.sojourn is not None and not rec.forced:
+                pooled[key].append(rec.sojourn)
+    return pooled
+
+
+def _run_tests(samples: Sequence[float]) -> Dict[str, bool]:
+    """All five test outcomes (pass = null retained at 5%)."""
+    arr = np.asarray(samples, dtype=np.float64)
+    out: Dict[str, bool] = {}
+    for test in TESTS:
+        family = test.split("_")[0]
+        try:
+            if test == "poisson_ad":
+                out[test] = anderson_exponential(arr).passes()
+            else:
+                out[test] = fit_and_ks_test(CLASSIC_FAMILIES[family], arr).passes()
+        except (FitError, ValueError):
+            out[test] = False
+    return out
+
+
+def gof_study(
+    trace: Trace,
+    device_type: DeviceType,
+    *,
+    clustered: bool,
+    theta_f: float = DEFAULT_THETA_F,
+    theta_n: int = DEFAULT_THETA_N,
+    trace_start_hour: int = 0,
+    quantities: str = "events_and_states",
+    min_samples: int = MIN_SAMPLES,
+) -> GofResult:
+    """Run the §4 study for one device type.
+
+    Parameters
+    ----------
+    clustered:
+        ``False`` reproduces Table 8 (per-device pooling), ``True``
+        Tables 9/10 (per adaptive cluster).
+    quantities:
+        ``"events_and_states"`` (Tables 8/9: six event inter-arrivals +
+        four state sojourns) or ``"transitions"`` (Table 10: the nine
+        second-level transition sojourns).
+    """
+    if quantities not in ("events_and_states", "transitions"):
+        raise ValueError(f"unknown quantities {quantities!r}")
+    machine = two_level_machine()
+    sub = trace.filter_device(device_type)
+    if len(sub) == 0:
+        raise ValueError(f"trace has no {device_type.name} events")
+    ues = [int(u) for u in sub.unique_ues()]
+    per_ue = {ue: seg for ue, seg in sub.per_ue()}
+
+    import math
+
+    total_slots = max(
+        1, int(math.ceil((float(trace.times.max()) + 1e-9) / SECONDS_PER_HOUR))
+    )
+    slots_by_hour: Dict[int, List[int]] = {}
+    for slot in range(total_slots):
+        slots_by_hour.setdefault((trace_start_hour + slot) % 24, []).append(slot)
+
+    passes: Dict[str, Dict[str, int]] = {t: {} for t in TESTS}
+    combos: Dict[str, int] = {}
+
+    for hour, slots in sorted(slots_by_hour.items()):
+        segments = _build_segments(per_ue, ues, slots)
+        if not segments:
+            continue
+        _replay_segments(segments, machine, "two_level")
+        if clustered:
+            features = _hour_features(segments, ues, machine)
+            clustering = adaptive_cluster(features, theta_f=theta_f, theta_n=theta_n)
+        else:
+            clustering = single_cluster(ues, 4)
+        by_cluster: Dict[int, List] = {c.cluster_id: [] for c in clustering.clusters}
+        for seg in segments:
+            by_cluster[clustering.assignment[seg.ue_id]].append(seg)
+
+        for cluster_segments in by_cluster.values():
+            if not cluster_segments:
+                continue
+            if quantities == "events_and_states":
+                pooled: Dict[str, List[float]] = {}
+                for event, values in _interarrivals_by_event(cluster_segments).items():
+                    pooled[event.name] = values
+                for state, values in _state_sojourns(cluster_segments, machine).items():
+                    pooled[state] = values
+            else:
+                pooled = {
+                    f"{src}-{ev.name}": values
+                    for (src, ev), values in _transition_sojourns(
+                        cluster_segments
+                    ).items()
+                }
+            for quantity, values in pooled.items():
+                if len(values) < min_samples:
+                    continue
+                combos[quantity] = combos.get(quantity, 0) + 1
+                outcomes = _run_tests(values)
+                for test, ok in outcomes.items():
+                    if ok:
+                        passes[test][quantity] = passes[test].get(quantity, 0) + 1
+
+    rates = {
+        test: {
+            quantity: passes[test].get(quantity, 0) / n
+            for quantity, n in combos.items()
+        }
+        for test in TESTS
+    }
+    return GofResult(device_type=device_type, rates=rates, combos=combos)

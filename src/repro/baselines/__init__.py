@@ -1,0 +1,31 @@
+"""The four modeling methods compared in Table 3.
+
+| Method | State machine | Sojourn model | UE clustering |
+|--------|---------------|---------------|---------------|
+| Base   | EMM–ECM       | Poisson       | no            |
+| V1     | EMM–ECM       | Poisson       | yes           |
+| V2     | two-level     | Poisson       | yes           |
+| Ours   | two-level     | empirical CDF | yes           |
+
+``Base`` and ``V1`` cannot express ``HO``/``TAU`` in their machine and
+overlay them as state-oblivious Poisson processes, which is what
+produces the "HO in IDLE" artifact of Tables 4/11.
+"""
+
+from .methods import (
+    METHOD_NAMES,
+    fit_base,
+    fit_method,
+    fit_ours,
+    fit_v1,
+    fit_v2,
+)
+
+__all__ = [
+    "METHOD_NAMES",
+    "fit_base",
+    "fit_method",
+    "fit_ours",
+    "fit_v1",
+    "fit_v2",
+]

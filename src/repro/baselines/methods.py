@@ -1,0 +1,75 @@
+"""Builders for the Base / V1 / V2 / Ours model sets (Table 3)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..clustering.quadtree import DEFAULT_THETA_F, DEFAULT_THETA_N
+from ..model.fitting import fit_model_set
+from ..model.model_set import ModelSet
+from ..trace.trace import Trace
+
+#: Canonical method names, in the paper's column order.
+METHOD_NAMES = ("base", "v1", "v2", "ours")
+
+
+def fit_base(trace: Trace, **kwargs) -> ModelSet:
+    """``Base``: EMM–ECM machine, Poisson sojourns, no clustering.
+
+    ``HO``/``TAU`` are fitted as Poisson overlays from merged per-UE
+    inter-arrival times.
+    """
+    kwargs.setdefault("machine_kind", "emm_ecm")
+    kwargs.setdefault("family", "poisson")
+    kwargs.setdefault("clustered", False)
+    return fit_model_set(trace, **kwargs)
+
+
+def fit_v1(trace: Trace, **kwargs) -> ModelSet:
+    """``V1``: Base plus the adaptive UE clustering scheme."""
+    kwargs.setdefault("machine_kind", "emm_ecm")
+    kwargs.setdefault("family", "poisson")
+    kwargs.setdefault("clustered", True)
+    return fit_model_set(trace, **kwargs)
+
+
+def fit_v2(trace: Trace, **kwargs) -> ModelSet:
+    """``V2``: the two-level machine + clustering, but Poisson sojourns."""
+    kwargs.setdefault("machine_kind", "two_level")
+    kwargs.setdefault("family", "poisson")
+    kwargs.setdefault("clustered", True)
+    return fit_model_set(trace, **kwargs)
+
+
+def fit_ours(trace: Trace, **kwargs) -> ModelSet:
+    """``Ours``: two-level machine + clustering + empirical sojourn CDFs."""
+    kwargs.setdefault("machine_kind", "two_level")
+    kwargs.setdefault("family", "empirical")
+    kwargs.setdefault("clustered", True)
+    return fit_model_set(trace, **kwargs)
+
+
+_METHODS: Dict[str, Callable[..., ModelSet]] = {
+    "base": fit_base,
+    "v1": fit_v1,
+    "v2": fit_v2,
+    "ours": fit_ours,
+}
+
+
+def fit_method(
+    method: str,
+    trace: Trace,
+    *,
+    theta_f: float = DEFAULT_THETA_F,
+    theta_n: int = DEFAULT_THETA_N,
+    **kwargs,
+) -> ModelSet:
+    """Fit one of the four methods by name (case-insensitive)."""
+    try:
+        builder = _METHODS[method.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {method!r}; choose from {METHOD_NAMES}"
+        ) from None
+    return builder(trace, theta_f=theta_f, theta_n=theta_n, **kwargs)

@@ -1,0 +1,155 @@
+"""Recursive adaptive clustering over the UE feature space (§5.3).
+
+The scheme recursively cuts the feature space at the midpoints of the
+current cell until either (a) every feature's spread within the cell is
+below ``theta_f`` ("the UEs are similar"), or (b) the cell holds fewer
+than ``theta_n`` UEs ("too few UEs to keep splitting").  With two
+feature dimensions this is literally a quadtree; the implementation
+generalizes to ``d`` dimensions by splitting into up to ``2^d``
+children (the paper's 4-feature space yields a 16-way split).
+
+The paper's thresholds — ``theta_f = 5`` for every feature and
+``theta_n = 1000`` — are the defaults.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+DEFAULT_THETA_F = 5.0
+DEFAULT_THETA_N = 1000
+_MAX_DEPTH = 32
+
+
+@dataclasses.dataclass(frozen=True)
+class Cluster:
+    """One final (unsplit) cell of the adaptive partition."""
+
+    cluster_id: int
+    ue_ids: Tuple[int, ...]
+    lower: np.ndarray  #: inclusive lower corner of the cell
+    upper: np.ndarray  #: inclusive upper corner of the cell
+
+    @property
+    def size(self) -> int:
+        return len(self.ue_ids)
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusteringResult:
+    """The full partition plus the UE -> cluster index."""
+
+    clusters: Tuple[Cluster, ...]
+    assignment: Dict[int, int]  #: ue_id -> cluster_id
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self.clusters)
+
+    def cluster_of(self, ue_id: int) -> Cluster:
+        return self.clusters[self.assignment[ue_id]]
+
+    def weights(self) -> np.ndarray:
+        """Fraction of UEs in each cluster (sums to 1)."""
+        total = sum(c.size for c in self.clusters)
+        return np.asarray([c.size / total for c in self.clusters])
+
+
+def adaptive_cluster(
+    features: Mapping[int, np.ndarray],
+    *,
+    theta_f: float = DEFAULT_THETA_F,
+    theta_n: int = DEFAULT_THETA_N,
+) -> ClusteringResult:
+    """Partition UEs by the paper's recursive midpoint-split scheme.
+
+    Parameters
+    ----------
+    features:
+        ``ue_id -> feature vector`` (equal lengths; any dimensionality).
+    theta_f:
+        A cell stops splitting once ``max - min < theta_f`` holds for
+        *every* feature within it.
+    theta_n:
+        A cell with fewer than ``theta_n`` UEs stops splitting.
+    """
+    if not features:
+        return ClusteringResult(clusters=(), assignment={})
+    ue_ids = np.asarray(sorted(features), dtype=np.int64)
+    matrix = np.vstack([features[int(ue)] for ue in ue_ids])
+    if matrix.ndim != 2:
+        raise ValueError("feature vectors must share one dimensionality")
+
+    clusters: List[Cluster] = []
+    assignment: Dict[int, int] = {}
+
+    def _finalize(rows: np.ndarray, lower: np.ndarray, upper: np.ndarray) -> None:
+        cluster_id = len(clusters)
+        members = tuple(int(ue) for ue in ue_ids[rows])
+        clusters.append(
+            Cluster(
+                cluster_id=cluster_id,
+                ue_ids=members,
+                lower=lower.copy(),
+                upper=upper.copy(),
+            )
+        )
+        for ue in members:
+            assignment[ue] = cluster_id
+
+    def _split(
+        rows: np.ndarray, lower: np.ndarray, upper: np.ndarray, depth: int
+    ) -> None:
+        cell = matrix[rows]
+        spread = cell.max(axis=0) - cell.min(axis=0)
+        if (
+            len(rows) < theta_n
+            or bool(np.all(spread < theta_f))
+            or depth >= _MAX_DEPTH
+        ):
+            _finalize(rows, lower, upper)
+            return
+        mid = (lower + upper) / 2.0
+        # Child index: one bit per dimension (above / below the midpoint).
+        bits = (cell >= mid).astype(np.int64)
+        child_index = bits @ (1 << np.arange(cell.shape[1]))
+        made_progress = len(np.unique(child_index)) > 1
+        if not made_progress:
+            # Every UE falls in one child: midpoint splitting cannot
+            # separate them further (degenerate cell); stop here.
+            _finalize(rows, lower, upper)
+            return
+        for child in np.unique(child_index):
+            child_rows = rows[child_index == child]
+            child_lower = lower.copy()
+            child_upper = upper.copy()
+            for dim in range(cell.shape[1]):
+                if (int(child) >> dim) & 1:
+                    child_lower[dim] = mid[dim]
+                else:
+                    child_upper[dim] = mid[dim]
+            _split(child_rows, child_lower, child_upper, depth + 1)
+
+    all_rows = np.arange(len(ue_ids))
+    _split(all_rows, matrix.min(axis=0), matrix.max(axis=0), depth=0)
+    return ClusteringResult(clusters=tuple(clusters), assignment=assignment)
+
+
+def single_cluster(ue_ids: Sequence[int], num_features: int) -> ClusteringResult:
+    """A degenerate partition placing every UE in one cluster.
+
+    Used by the ``Base`` baseline, which skips clustering (Table 3).
+    """
+    members = tuple(int(ue) for ue in sorted(ue_ids))
+    cluster = Cluster(
+        cluster_id=0,
+        ue_ids=members,
+        lower=np.zeros(num_features),
+        upper=np.zeros(num_features),
+    )
+    return ClusteringResult(
+        clusters=(cluster,), assignment={ue: 0 for ue in members}
+    )

@@ -1,0 +1,56 @@
+"""The Pareto distribution.
+
+Power-law model used for self-similar wide-area packet traffic:
+``f(x) = alpha * x_m^alpha * x^-(alpha+1)`` for ``x >= x_m``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import ArrayLike, Distribution, FitError
+
+
+class Pareto(Distribution):
+    """Pareto distribution with shape ``alpha`` and scale ``x_m``."""
+
+    family = "pareto"
+
+    def __init__(self, alpha: float, x_m: float) -> None:
+        if not (alpha > 0 and np.isfinite(alpha)):
+            raise ValueError(f"alpha must be positive and finite, got {alpha}")
+        if not (x_m > 0 and np.isfinite(x_m)):
+            raise ValueError(f"x_m must be positive and finite, got {x_m}")
+        self.alpha = float(alpha)
+        self.x_m = float(x_m)
+
+    @classmethod
+    def fit(cls, samples: ArrayLike) -> "Pareto":
+        """MLE: ``x_m = min(x)``, ``alpha = n / sum(log(x / x_m))``."""
+        arr = cls._clean_samples(samples, min_count=2, positive=True)
+        x_m = float(arr.min())
+        log_ratio_sum = float(np.sum(np.log(arr / x_m)))
+        if log_ratio_sum <= 0:
+            raise FitError("cannot fit a Pareto to constant samples")
+        return cls(alpha=arr.size / log_ratio_sum, x_m=x_m)
+
+    def cdf(self, x: ArrayLike) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        out = np.zeros_like(x, dtype=np.float64)
+        above = x >= self.x_m
+        out[above] = 1.0 - np.power(self.x_m / x[above], self.alpha)
+        return out
+
+    def ppf(self, q: ArrayLike) -> np.ndarray:
+        q = np.asarray(q, dtype=np.float64)
+        if np.any((q < 0) | (q > 1)):
+            raise ValueError("quantiles must lie in [0, 1]")
+        with np.errstate(divide="ignore"):
+            return self.x_m * np.power(1.0 - q, -1.0 / self.alpha)
+
+    def mean(self) -> float:
+        if self.alpha <= 1.0:
+            return math.inf
+        return self.alpha * self.x_m / (self.alpha - 1.0)

@@ -1,0 +1,73 @@
+"""A Tcplib-style fixed-shape empirical distribution.
+
+Tcplib (Danzig & Jamin, 1991) models wide-area TCP traffic with
+*empirical* distributions measured from TELNET/FTP traces; applying it
+to new data means keeping the measured shape and rescaling it.  The
+original measurement tables are not redistributable, so this module
+embeds a quantile table with the documented qualitative shape of the
+TELNET packet inter-arrival distribution — sub-second mass from
+keystroke echo, a long tail out to minutes from think time — normalized
+to unit median.  ``fit`` estimates only a scale factor (median
+matching), exactly the "fixed shape, data-driven scale" way the paper
+uses Tcplib as a candidate family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ArrayLike, Distribution, FitError
+
+#: Quantile table of the unit-median reference shape.  Probabilities and
+#: the corresponding quantiles (median = 1.0).  The shape is strongly
+#: right-skewed: P90/P50 = 30, P99/P50 = 600.
+_REFERENCE_PROBS = np.array(
+    [0.00, 0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999, 1.00]
+)
+_REFERENCE_QUANTILES = np.array(
+    [0.02, 0.08, 0.15, 0.40, 1.00, 6.00, 30.0, 90.0, 600.0, 2400.0, 7200.0]
+)
+
+
+class Tcplib(Distribution):
+    """The fixed Tcplib reference shape, scaled by ``scale``."""
+
+    family = "tcplib"
+
+    def __init__(self, scale: float) -> None:
+        if not (scale > 0 and np.isfinite(scale)):
+            raise ValueError(f"scale must be positive and finite, got {scale}")
+        self.scale = float(scale)
+
+    @classmethod
+    def fit(cls, samples: ArrayLike) -> "Tcplib":
+        """Scale the reference shape so medians match."""
+        arr = cls._clean_samples(samples, min_count=1, positive=True)
+        median = float(np.median(arr))
+        if median <= 0:
+            raise FitError("cannot scale Tcplib to a zero-median sample")
+        return cls(scale=median)
+
+    def cdf(self, x: ArrayLike) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64) / self.scale
+        return np.interp(
+            x,
+            _REFERENCE_QUANTILES,
+            _REFERENCE_PROBS,
+            left=0.0,
+            right=1.0,
+        )
+
+    def ppf(self, q: ArrayLike) -> np.ndarray:
+        q = np.asarray(q, dtype=np.float64)
+        if np.any((q < 0) | (q > 1)):
+            raise ValueError("quantiles must lie in [0, 1]")
+        return self.scale * np.interp(q, _REFERENCE_PROBS, _REFERENCE_QUANTILES)
+
+    def mean(self) -> float:
+        """Mean of the piecewise-linear reference shape, scaled."""
+        probs = _REFERENCE_PROBS
+        quants = _REFERENCE_QUANTILES
+        segment_means = (quants[1:] + quants[:-1]) / 2.0
+        weights = probs[1:] - probs[:-1]
+        return float(self.scale * np.sum(segment_means * weights))

@@ -1,0 +1,17 @@
+"""5G support: event mapping, NSA/SA trace views (Table 2, §6, Table 7)."""
+
+from .mapping import (
+    event_label,
+    nr_event_name,
+    nsa_breakdown,
+    sa_breakdown,
+    to_sa_trace,
+)
+
+__all__ = [
+    "event_label",
+    "nr_event_name",
+    "nsa_breakdown",
+    "sa_breakdown",
+    "to_sa_trace",
+]

@@ -1,0 +1,16 @@
+"""Trace synthesis from fitted model sets (§7)."""
+
+from .parallel import generate_parallel
+from .streaming import stream_events, stream_to_trace
+from .traffgen import TrafficGenerator
+from .ue_generator import MAX_EVENTS_PER_HOUR, UeSession, generate_ue_events
+
+__all__ = [
+    "MAX_EVENTS_PER_HOUR",
+    "TrafficGenerator",
+    "generate_parallel",
+    "UeSession",
+    "generate_ue_events",
+    "stream_events",
+    "stream_to_trace",
+]

@@ -1,0 +1,100 @@
+"""Streaming generation: events in global time order, bounded memory.
+
+Driving a live MCN (or a real-time monitoring pipeline) needs events in
+timestamp order as they "happen", not a materialized trace.  The
+streaming generator produces exactly the same events as
+:meth:`TrafficGenerator.generate` with the same arguments, but yields
+them one at a time in global time order, holding one hour of the
+population's traffic (plus one light session object per UE) in memory.
+
+Each UE is a resumable :class:`~repro.generator.ue_generator.UeSession`
+seeded from the same per-UE substream batch generation uses, so stream
+and batch outputs match event for event.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from ..model.model_set import ModelSet
+from ..trace.events import DeviceType, EventType
+from ..trace.trace import Event, Trace
+from .traffgen import DeviceCounts, TrafficGenerator
+from .ue_generator import UeSession
+
+
+def stream_events(
+    model_set: ModelSet,
+    num_ues: DeviceCounts,
+    *,
+    start_hour: int = 0,
+    num_hours: int = 1,
+    seed: int = 0,
+    first_ue_id: int = 0,
+) -> Iterator[Event]:
+    """Yield the population's events in global time order.
+
+    Equivalent to iterating the trace from
+    ``TrafficGenerator(model_set).generate(...)`` with identical
+    arguments, hour by hour.
+    """
+    if num_hours <= 0:
+        raise ValueError(f"num_hours must be positive, got {num_hours}")
+    generator = TrafficGenerator(model_set)
+    counts = generator.resolve_counts(num_ues)
+    total = sum(counts.values())
+    streams = np.random.SeedSequence(seed).spawn(total)
+    machine = model_set.machine()
+
+    sessions: List[Tuple[int, UeSession]] = []
+    ue_id = first_ue_id
+    idx = 0
+    for device_type in sorted(counts, key=int):
+        personas = np.asarray(
+            model_set.device_ues.get(device_type, []), dtype=np.int64
+        )
+        if counts[device_type] > 0 and personas.size == 0:
+            raise ValueError(
+                f"no fitted model for device type {device_type.name}"
+            )
+        for _ in range(counts[device_type]):
+            rng = np.random.default_rng(streams[idx])
+            idx += 1
+            persona = int(personas[rng.integers(personas.size)])
+            sessions.append(
+                (
+                    ue_id,
+                    UeSession(
+                        model_set,
+                        device_type,
+                        persona,
+                        start_hour=start_hour,
+                        rng=rng,
+                        machine=machine,
+                    ),
+                )
+            )
+            ue_id += 1
+
+    for _ in range(num_hours):
+        batch: List[Tuple[float, int, int, int]] = []
+        for uid, session in sessions:
+            times, events = session.advance_hour()
+            device = int(session.device_type)
+            for t, ev in zip(times, events):
+                batch.append((t, uid, ev, device))
+        batch.sort()
+        for t, uid, ev, dev in batch:
+            yield Event(
+                ue_id=uid,
+                time=t,
+                event_type=EventType(ev),
+                device_type=DeviceType(dev),
+            )
+
+
+def stream_to_trace(events: Iterator[Event]) -> Trace:
+    """Materialize a stream back into a :class:`Trace` (mainly for tests)."""
+    return Trace.from_events(events)

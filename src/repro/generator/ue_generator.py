@@ -1,0 +1,174 @@
+"""The per-UE traffic generator (§7).
+
+Each synthetic UE runs its own instance: the first hour's event is
+placed by the first-event model, after which the semi-Markov chain of
+the UE's cluster is driven hour after hour.  At every hour boundary the
+pending event is dropped and the dwell re-sampled from the new hour's
+model (the paper's timer-reset-on-model-switch semantics); UEs whose
+chain parks in a state with no fitted transitions stay silent until a
+later hour's model moves them again.
+
+For EMM–ECM baselines the cluster model additionally carries per-UE
+Poisson rates for ``HO``/``TAU``; those are overlaid uniformly over the
+hour, oblivious to the UE state — faithfully reproducing the baseline's
+"HO in IDLE" artifact the paper quantifies in Tables 4/11.
+
+:class:`UeSession` exposes the generation loop one hour at a time so
+that batch (:func:`generate_ue_events`) and streaming
+(:mod:`repro.generator.streaming`) production consume randomness
+identically and therefore emit identical events.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..model.model_set import ModelSet
+from ..statemachines.fsm import StateMachine
+from ..statemachines.replay import _canonical_source_for
+from ..trace.events import SECONDS_PER_HOUR, DeviceType, EventType, quantize_timestamp
+
+#: Hard per-UE-per-hour event cap; a guard against degenerate fitted
+#: chains (e.g. a self-loop with near-zero sojourn), far above any
+#: realistic per-UE volume.
+MAX_EVENTS_PER_HOUR = 100_000
+
+
+class UeSession:
+    """One UE's generation state, advanced one hour at a time."""
+
+    def __init__(
+        self,
+        model_set: ModelSet,
+        device_type: DeviceType,
+        persona: int,
+        *,
+        start_hour: int,
+        rng: np.random.Generator,
+        machine: Optional[StateMachine] = None,
+    ) -> None:
+        self.model_set = model_set
+        self.device_type = device_type
+        self.persona = persona
+        self.start_hour = start_hour
+        self.rng = rng
+        self.machine = machine if machine is not None else model_set.machine()
+        self.state: Optional[str] = None
+        self._next_hour_idx = 0
+
+    def advance_hour(self) -> Tuple[List[float], List[int]]:
+        """Generate the next hour's events (times relative to t=0)."""
+        hour_idx = self._next_hour_idx
+        self._next_hour_idx += 1
+        hour = (self.start_hour + hour_idx) % 24
+        hour_model = self.model_set.hour_model(self.device_type, hour)
+        if hour_model is None:
+            return [], []  # no model for this hour-of-day; keep the state
+
+        rng = self.rng
+        machine = self.machine
+        cid = hour_model.cluster_for_ue(self.persona, rng)
+        cluster = hour_model.clusters[cid]
+        hour_start = hour_idx * SECONDS_PER_HOUR
+        hour_end = hour_start + SECONDS_PER_HOUR
+
+        times: List[float] = []
+        events: List[int] = []
+        t = hour_start
+        if self.state is None:
+            first = cluster.first_event.sample(rng)
+            if first is None:
+                _overlay_events(cluster, hour_start, hour_end, rng, times, events)
+                return times, events
+            event, offset = first
+            t = hour_start + offset
+            times.append(quantize_timestamp(t))
+            events.append(int(event))
+            self.state = machine.next_state(
+                _canonical_source_for(machine, event), event
+            )
+
+        emitted = 0
+        while emitted < MAX_EVENTS_PER_HOUR:
+            step = cluster.chain.step(self.state, rng)
+            if step is None:
+                break  # absorbing under this hour's model; park
+            dwell, event, target = step
+            t_next = t + dwell
+            if t_next >= hour_end:
+                break  # hour boundary: drop the pending event
+            times.append(quantize_timestamp(t_next))
+            events.append(int(event))
+            self.state = target
+            t = t_next
+            emitted += 1
+
+        _overlay_events(cluster, hour_start, hour_end, rng, times, events)
+        return times, events
+
+
+def generate_ue_events(
+    model_set: ModelSet,
+    device_type: DeviceType,
+    persona: int,
+    *,
+    start_hour: int,
+    num_hours: int,
+    rng: np.random.Generator,
+    machine: Optional[StateMachine] = None,
+) -> Tuple[List[float], List[int]]:
+    """Generate one UE's events over ``num_hours`` hours.
+
+    Parameters
+    ----------
+    persona:
+        A training-trace UE id; each hour the synthetic UE uses the
+        cluster this persona belonged to, which keeps heavy/light users
+        coherent across hours.
+    start_hour:
+        Hour-of-day of generation time 0.
+
+    Returns
+    -------
+    (times, events):
+        Timestamps (seconds from generation start) and event codes.
+    """
+    if num_hours <= 0:
+        raise ValueError(f"num_hours must be positive, got {num_hours}")
+    session = UeSession(
+        model_set,
+        device_type,
+        persona,
+        start_hour=start_hour,
+        rng=rng,
+        machine=machine,
+    )
+    times: List[float] = []
+    events: List[int] = []
+    for _ in range(num_hours):
+        hour_times, hour_events = session.advance_hour()
+        times.extend(hour_times)
+        events.extend(hour_events)
+    return times, events
+
+
+def _overlay_events(
+    cluster,
+    hour_start: float,
+    hour_end: float,
+    rng: np.random.Generator,
+    times: List[float],
+    events: List[int],
+) -> None:
+    """Add the baseline's state-oblivious Poisson HO/TAU events."""
+    for event, rate in cluster.overlay_rates.items():
+        if rate <= 0:
+            continue
+        n = rng.poisson(rate * (hour_end - hour_start))
+        if n == 0:
+            continue
+        for t in np.sort(rng.uniform(hour_start, hour_end, size=n)):
+            times.append(quantize_timestamp(float(t)))
+            events.append(int(event))

@@ -1,0 +1,80 @@
+"""Population growth scenarios for NextG simulation studies (§3.1).
+
+Industry analyses project strong growth in cellular-connected devices,
+especially IoT-class ones (the paper cites the Ericsson Mobility
+Report).  Because the traffic model is per-UE, simulating a future year
+is just a matter of scaling the UE population per device class and
+re-running the generator — these helpers express that bookkeeping.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping
+
+from ..trace.events import DeviceType
+
+#: Default annual growth multipliers per device class.  Connected cars
+#: and other machine-type devices grow fastest in the industry
+#: projections; handsets are near-saturated in mature markets.
+DEFAULT_ANNUAL_GROWTH: Dict[DeviceType, float] = {
+    DeviceType.PHONE: 1.03,
+    DeviceType.CONNECTED_CAR: 1.25,
+    DeviceType.TABLET: 1.05,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class GrowthScenario:
+    """A named population-growth assumption."""
+
+    name: str
+    annual_growth: Dict[DeviceType, float]
+
+    def project(
+        self, base_counts: Mapping[DeviceType, int], years: int
+    ) -> Dict[DeviceType, int]:
+        """Population after ``years`` of compound growth."""
+        if years < 0:
+            raise ValueError(f"years must be non-negative, got {years}")
+        out: Dict[DeviceType, int] = {}
+        for device_type, count in base_counts.items():
+            rate = self.annual_growth.get(DeviceType(device_type), 1.0)
+            out[DeviceType(device_type)] = max(
+                0, int(round(count * rate**years))
+            )
+        return out
+
+
+#: Ready-made scenarios for quick studies.
+SCENARIOS: Dict[str, GrowthScenario] = {
+    "baseline": GrowthScenario("baseline", DEFAULT_ANNUAL_GROWTH),
+    "iot-boom": GrowthScenario(
+        "iot-boom",
+        {
+            DeviceType.PHONE: 1.02,
+            DeviceType.CONNECTED_CAR: 1.45,
+            DeviceType.TABLET: 1.10,
+        },
+    ),
+    "flat": GrowthScenario(
+        "flat",
+        {dt: 1.0 for dt in DeviceType},
+    ),
+}
+
+
+def project_population(
+    base_counts: Mapping[DeviceType, int],
+    years: int,
+    *,
+    scenario: str = "baseline",
+) -> Dict[DeviceType, int]:
+    """Project a UE population ``years`` ahead under a named scenario."""
+    try:
+        chosen = SCENARIOS[scenario]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {scenario!r}; choose from {sorted(SCENARIOS)}"
+        ) from None
+    return chosen.project(base_counts, years)

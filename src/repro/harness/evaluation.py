@@ -1,0 +1,202 @@
+"""The §8 evaluation pipeline as a reusable harness.
+
+``evaluate_methods`` packages the paper's validation end to end: fit
+the requested methods on a training trace, synthesize a validation hour
+for a given population, and compute the macroscopic (Tables 4/11) and
+microscopic (Table 5) fidelity metrics against a held-out real trace.
+The benchmark suite and the CLI both build on it; downstream users can
+run the identical evaluation on their own traces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..baselines import fit_method
+from ..generator import TrafficGenerator
+from ..model.model_set import ModelSet
+from ..statemachines import lte
+from ..trace.events import DeviceType, EventType
+from ..trace.trace import Trace
+from ..validation.breakdown import (
+    BREAKDOWN_ROWS,
+    breakdown_difference,
+    breakdown_with_states,
+    max_abs_breakdown_difference,
+)
+from ..validation.microscopic import count_ydistance, sojourn_ydistance
+from ..validation.report import format_table
+
+DEFAULT_METHODS = ("base", "v1", "v2", "ours")
+
+#: Microscopic quantities of Table 5.
+MICRO_QUANTITIES = ("SRV_REQ", "S1_CONN_REL", "CONNECTED", "IDLE")
+
+
+@dataclasses.dataclass
+class MethodResult:
+    """Everything measured for one method."""
+
+    method: str
+    model: ModelSet
+    synthesized: Trace
+    macro_diff: Dict[DeviceType, Dict[str, float]]
+    macro_max_error: Dict[DeviceType, float]
+    micro: Dict[DeviceType, Dict[str, float]]
+
+
+@dataclasses.dataclass
+class EvaluationReport:
+    """The full §8 comparison across methods."""
+
+    real: Trace
+    num_ues: int
+    generation_hour: int
+    results: Dict[str, MethodResult]
+
+    def winner(self, device_type: DeviceType) -> str:
+        """Method with the smallest macroscopic error for a device."""
+        return min(
+            self.results,
+            key=lambda m: self.results[m].macro_max_error.get(
+                device_type, float("inf")
+            ),
+        )
+
+    def to_text(self) -> str:
+        """Render the macro and micro tables for every device type."""
+        methods = list(self.results)
+        blocks: List[str] = []
+        for device_type in DeviceType:
+            if len(self.real.filter_device(device_type)) == 0:
+                continue
+            real_bd = breakdown_with_states(self.real, device_type)
+            rows = []
+            for row_key in BREAKDOWN_ROWS:
+                rows.append(
+                    [row_key, f"{100 * real_bd[row_key]:.1f}%"]
+                    + [
+                        f"{100 * self.results[m].macro_diff[device_type][row_key]:+.1f}%"
+                        for m in methods
+                    ]
+                )
+            blocks.append(
+                format_table(
+                    ["Event", "Real"] + [m.capitalize() for m in methods],
+                    rows,
+                    title=f"Macroscopic breakdown - {device_type.name}",
+                )
+            )
+            micro_rows = []
+            for quantity in MICRO_QUANTITIES:
+                micro_rows.append(
+                    [quantity]
+                    + [
+                        _fmt_pct(self.results[m].micro[device_type].get(quantity))
+                        for m in methods
+                    ]
+                )
+            blocks.append(
+                format_table(
+                    ["Quantity"] + [m.capitalize() for m in methods],
+                    micro_rows,
+                    title=f"Microscopic max y-distance - {device_type.name}",
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def _fmt_pct(value: Optional[float]) -> str:
+    return "-" if value is None else f"{100 * value:.1f}%"
+
+
+def evaluate_methods(
+    train: Trace,
+    real: Trace,
+    *,
+    num_ues: Optional[int] = None,
+    methods: Sequence[str] = DEFAULT_METHODS,
+    theta_f: float = 5.0,
+    theta_n: int = 1000,
+    trace_start_hour: int = 0,
+    generation_hour: int = 0,
+    seed: int = 0,
+    models: Optional[Mapping[str, ModelSet]] = None,
+) -> EvaluationReport:
+    """Run the paper's method comparison.
+
+    Parameters
+    ----------
+    train:
+        Training trace (what the carrier would collect).
+    real:
+        Held-out one-hour validation trace, starting at
+        ``generation_hour``.
+    num_ues:
+        Synthesized population size; defaults to the real trace's UE
+        count (the paper's Scenario 1 setup).
+    models:
+        Pre-fitted model sets by method name — skips fitting for the
+        methods present (useful when sweeping scenarios).
+    """
+    if num_ues is None:
+        num_ues = real.num_ues
+    results: Dict[str, MethodResult] = {}
+    for method in methods:
+        if models is not None and method in models:
+            model = models[method]
+        else:
+            model = fit_method(
+                method,
+                train,
+                theta_f=theta_f,
+                theta_n=theta_n,
+                trace_start_hour=trace_start_hour,
+            )
+        synthesized = TrafficGenerator(model).generate(
+            num_ues, start_hour=generation_hour, num_hours=1, seed=seed
+        )
+        macro_diff: Dict[DeviceType, Dict[str, float]] = {}
+        macro_max: Dict[DeviceType, float] = {}
+        micro: Dict[DeviceType, Dict[str, float]] = {}
+        for device_type in DeviceType:
+            if len(real.filter_device(device_type)) == 0:
+                continue
+            macro_diff[device_type] = breakdown_difference(
+                real, synthesized, device_type
+            )
+            macro_max[device_type] = max_abs_breakdown_difference(
+                real, synthesized, device_type
+            )
+            metrics: Dict[str, float] = {}
+            try:
+                metrics["SRV_REQ"] = count_ydistance(
+                    real, synthesized, device_type, EventType.SRV_REQ
+                )
+                metrics["S1_CONN_REL"] = count_ydistance(
+                    real, synthesized, device_type, EventType.S1_CONN_REL
+                )
+                metrics["CONNECTED"] = sojourn_ydistance(
+                    real, synthesized, device_type, lte.CONNECTED
+                )
+                metrics["IDLE"] = sojourn_ydistance(
+                    real, synthesized, device_type, lte.IDLE
+                )
+            except ValueError:
+                pass  # too little data for some quantity; report partial
+            micro[device_type] = metrics
+        results[method] = MethodResult(
+            method=method,
+            model=model,
+            synthesized=synthesized,
+            macro_diff=macro_diff,
+            macro_max_error=macro_max,
+            micro=micro,
+        )
+    return EvaluationReport(
+        real=real,
+        num_ues=num_ues,
+        generation_hour=generation_hour,
+        results=results,
+    )

@@ -1,0 +1,152 @@
+"""A minimal MME (mobile core control-plane) queueing model.
+
+The paper's motivation is driving MCN designs with realistic control
+traffic.  This module provides a downstream consumer: a discrete-event
+MME with a worker pool that processes control events in arrival order,
+tracks each UE's state against the two-level machine (events a real MME
+would reject are counted as protocol violations), and reports queueing
+statistics.
+
+It is intentionally simple — an M/G/c-style worker pool — but it is
+enough to expose the difference between workloads: bursty, realistic
+traffic produces markedly worse tail latency than a Poisson stream of
+the same volume, and baseline-synthesized traffic triggers protocol
+violations (``HO`` in IDLE) that the proposed model's traffic does not.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..statemachines.lte import two_level_machine
+from ..statemachines.replay import _canonical_source_for
+from ..trace.events import EventType
+from ..trace.trace import Trace
+
+#: Default mean service time per event type, seconds.  Attach/detach do
+#: the most signaling work (HSS, session setup); handovers are mid;
+#: connection management is cheap.  Values are representative, not
+#: vendor-measured.
+DEFAULT_SERVICE_MEANS: Dict[EventType, float] = {
+    EventType.ATCH: 0.020,
+    EventType.DTCH: 0.010,
+    EventType.SRV_REQ: 0.004,
+    EventType.S1_CONN_REL: 0.003,
+    EventType.HO: 0.008,
+    EventType.TAU: 0.005,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class MmeReport:
+    """Outcome of processing one trace through the MME model."""
+
+    num_events: int
+    span: float                      #: first-to-last arrival, seconds
+    mean_wait: float                 #: queueing delay, seconds
+    p50_wait: float
+    p95_wait: float
+    p99_wait: float
+    max_wait: float
+    mean_latency: float              #: wait + service
+    utilization: float               #: busy worker-seconds / capacity
+    throughput: float                #: events per second over the span
+    protocol_violations: int         #: events invalid for the UE's state
+    events_by_type: Dict[EventType, int]
+
+
+class MmeSimulator:
+    """A ``num_workers``-wide control-plane processor."""
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        *,
+        service_means: Optional[Dict[EventType, float]] = None,
+        service_jitter: float = 0.3,
+        seed: int = 0,
+    ) -> None:
+        if num_workers <= 0:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
+        if not 0.0 <= service_jitter < 1.0:
+            raise ValueError("service_jitter must be in [0, 1)")
+        self.num_workers = num_workers
+        self.service_means = dict(service_means or DEFAULT_SERVICE_MEANS)
+        self.service_jitter = service_jitter
+        self.seed = seed
+
+    def _service_time(self, event: EventType, rng: np.random.Generator) -> float:
+        mean = self.service_means.get(event, 0.005)
+        if self.service_jitter == 0:
+            return mean
+        lo = 1.0 - self.service_jitter
+        hi = 1.0 + self.service_jitter
+        return mean * rng.uniform(lo, hi)
+
+    def process(self, trace: Trace) -> MmeReport:
+        """Run the trace through the worker pool and report statistics."""
+        n = len(trace)
+        if n == 0:
+            raise ValueError("cannot process an empty trace")
+        rng = np.random.default_rng(self.seed)
+        machine = two_level_machine()
+
+        workers: List[float] = [float(trace.times[0])] * self.num_workers
+        heapq.heapify(workers)
+
+        waits = np.empty(n, dtype=np.float64)
+        latencies = np.empty(n, dtype=np.float64)
+        busy = 0.0
+        violations = 0
+        ue_state: Dict[int, Optional[str]] = {}
+        events_by_type: Dict[EventType, int] = {e: 0 for e in EventType}
+
+        for i in range(n):
+            arrival = float(trace.times[i])
+            event = EventType(int(trace.event_types[i]))
+            ue = int(trace.ue_ids[i])
+            events_by_type[event] += 1
+
+            # Per-UE protocol check (lenient: unknown start state).
+            state = ue_state.get(ue)
+            if state is None:
+                # Initialize from the first event's canonical source.
+                state = _canonical_source_for(machine, event)
+            if machine.can_fire(state, event):
+                state = machine.next_state(state, event)
+            else:
+                violations += 1
+                state = machine.next_state(
+                    _canonical_source_for(machine, event), event
+                )
+            ue_state[ue] = state
+
+            free = heapq.heappop(workers)
+            start = max(arrival, free)
+            service = self._service_time(event, rng)
+            heapq.heappush(workers, start + service)
+            waits[i] = start - arrival
+            latencies[i] = waits[i] + service
+            busy += service
+
+        span = float(trace.times[-1] - trace.times[0])
+        capacity = self.num_workers * max(span, 1e-9)
+        p50, p95, p99 = np.percentile(waits, [50.0, 95.0, 99.0])
+        return MmeReport(
+            num_events=n,
+            span=span,
+            mean_wait=float(waits.mean()),
+            p50_wait=float(p50),
+            p95_wait=float(p95),
+            p99_wait=float(p99),
+            max_wait=float(waits.max()),
+            mean_latency=float(latencies.mean()),
+            utilization=min(1.0, busy / capacity),
+            throughput=n / max(span, 1e-9),
+            protocol_violations=violations,
+            events_by_type=events_by_type,
+        )

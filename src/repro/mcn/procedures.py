@@ -1,0 +1,179 @@
+"""Control-plane procedure definitions (simplified 3GPP call flows).
+
+Each UE-originated control event triggers a *procedure*: a chain of
+messages across the core's network functions.  The flows below are the
+standard LTE (EPC) and 5G SA (5GC) call flows reduced to their
+control-plane message chains — enough to study how load distributes
+over the core's functions, which is what the paper's traffic generator
+exists to drive.
+
+LTE (EPC) network functions: MME (signaling anchor), HSS (subscriber
+DB), SGW and PGW (gateway control planes).  5G SA (5GC) counterparts:
+AMF, AUSF/UDM (merged here), SMF, UPF (N4 control).
+
+Service times are per-message means in seconds; they are representative
+published magnitudes (sub-millisecond DB lookups, ~ms session
+operations), not vendor measurements, and are configurable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from ..trace.events import EventType
+
+# ---------------------------------------------------------------------------
+# Network function names
+# ---------------------------------------------------------------------------
+
+#: LTE / EPC control-plane functions.
+MME = "MME"
+HSS = "HSS"
+SGW = "SGW"
+PGW = "PGW"
+EPC_FUNCTIONS: Tuple[str, ...] = (MME, HSS, SGW, PGW)
+
+#: 5G SA / 5GC control-plane functions.
+AMF = "AMF"
+UDM = "UDM"   #: AUSF/UDM merged
+SMF = "SMF"
+UPF = "UPF"   #: N4 (PFCP) control interface
+FIVEGC_FUNCTIONS: Tuple[str, ...] = (AMF, UDM, SMF, UPF)
+
+#: EPC -> 5GC role mapping (who inherits which job).
+EPC_TO_5GC: Dict[str, str] = {MME: AMF, HSS: UDM, SGW: SMF, PGW: UPF}
+
+
+@dataclasses.dataclass(frozen=True)
+class Step:
+    """One message of a procedure: processed by ``nf``, then handed on."""
+
+    nf: str
+    message: str
+    service_mean: float  #: seconds of NF processing
+
+
+@dataclasses.dataclass(frozen=True)
+class Procedure:
+    """A named chain of steps triggered by one control event."""
+
+    name: str
+    steps: Tuple[Step, ...]
+
+    @property
+    def total_service(self) -> float:
+        return sum(s.service_mean for s in self.steps)
+
+    def functions(self) -> Tuple[str, ...]:
+        return tuple(dict.fromkeys(s.nf for s in self.steps))
+
+
+def _p(name: str, *steps: Tuple[str, str, float]) -> Procedure:
+    return Procedure(
+        name=name,
+        steps=tuple(Step(nf, message, mean) for nf, message, mean in steps),
+    )
+
+
+#: LTE procedures per control event (simplified TS 23.401 flows).
+EPC_PROCEDURES: Dict[EventType, Procedure] = {
+    EventType.ATCH: _p(
+        "attach",
+        (MME, "Attach Request", 0.004),
+        (HSS, "Authentication Information", 0.003),
+        (MME, "NAS Security Setup", 0.003),
+        (HSS, "Update Location", 0.003),
+        (SGW, "Create Session Request", 0.003),
+        (PGW, "Create Session Request", 0.003),
+        (SGW, "Create Session Response", 0.002),
+        (MME, "Attach Accept", 0.002),
+    ),
+    EventType.DTCH: _p(
+        "detach",
+        (MME, "Detach Request", 0.002),
+        (SGW, "Delete Session Request", 0.002),
+        (PGW, "Delete Session Request", 0.002),
+        (MME, "Detach Accept", 0.001),
+    ),
+    EventType.SRV_REQ: _p(
+        "service_request",
+        (MME, "Service Request", 0.002),
+        (SGW, "Modify Bearer Request", 0.002),
+        (MME, "Initial Context Setup", 0.002),
+    ),
+    EventType.S1_CONN_REL: _p(
+        "s1_release",
+        (MME, "UE Context Release", 0.001),
+        (SGW, "Release Access Bearers", 0.002),
+    ),
+    EventType.HO: _p(
+        "handover",
+        (MME, "Path Switch Request", 0.003),
+        (SGW, "Modify Bearer Request", 0.002),
+        (MME, "Path Switch Ack", 0.001),
+    ),
+    EventType.TAU: _p(
+        "tracking_area_update",
+        (MME, "TAU Request", 0.002),
+        (HSS, "Update Location", 0.002),
+        (MME, "TAU Accept", 0.001),
+    ),
+}
+
+#: 5G SA procedures (TS 23.502 flows; no TAU, renamed functions/events).
+FIVEGC_PROCEDURES: Dict[EventType, Procedure] = {
+    EventType.ATCH: _p(
+        "registration",
+        (AMF, "Registration Request", 0.004),
+        (UDM, "Authentication / UECM Registration", 0.004),
+        (AMF, "NAS Security Setup", 0.003),
+        (SMF, "PDU Session Create", 0.003),
+        (UPF, "N4 Session Establishment", 0.003),
+        (AMF, "Registration Accept", 0.002),
+    ),
+    EventType.DTCH: _p(
+        "deregistration",
+        (AMF, "Deregistration Request", 0.002),
+        (SMF, "PDU Session Release", 0.002),
+        (UPF, "N4 Session Release", 0.002),
+        (AMF, "Deregistration Accept", 0.001),
+    ),
+    EventType.SRV_REQ: _p(
+        "service_request",
+        (AMF, "Service Request", 0.002),
+        (SMF, "PDU Session Activate", 0.002),
+        (UPF, "N4 Session Modification", 0.002),
+        (AMF, "Service Accept", 0.001),
+    ),
+    EventType.S1_CONN_REL: _p(
+        "an_release",
+        (AMF, "AN Release", 0.001),
+        (SMF, "PDU Session Deactivate", 0.002),
+    ),
+    EventType.HO: _p(
+        "handover",
+        (AMF, "Path Switch Request", 0.003),
+        (SMF, "PDU Session Path Update", 0.002),
+        (UPF, "N4 Session Modification", 0.002),
+        (AMF, "Path Switch Ack", 0.001),
+    ),
+}
+
+
+def procedures_for(core: str) -> Dict[EventType, Procedure]:
+    """The procedure map of one core generation (``"epc"`` / ``"5gc"``)."""
+    if core == "epc":
+        return EPC_PROCEDURES
+    if core == "5gc":
+        return FIVEGC_PROCEDURES
+    raise ValueError(f"unknown core {core!r}; choose 'epc' or '5gc'")
+
+
+def functions_for(core: str) -> Tuple[str, ...]:
+    """The network functions of one core generation."""
+    if core == "epc":
+        return EPC_FUNCTIONS
+    if core == "5gc":
+        return FIVEGC_FUNCTIONS
+    raise ValueError(f"unknown core {core!r}; choose 'epc' or '5gc'")

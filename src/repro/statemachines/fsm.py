@@ -1,0 +1,190 @@
+"""Generic labelled-transition state machines.
+
+The paper's models are state machines whose edges are labelled with
+control-plane event types.  A single (state, event) pair always leads
+to a single next state (the machines in Figs. 1, 5 and 6 are all
+event-deterministic), so a machine is a mapping
+``(state, event) -> state`` plus an initial state.
+
+States are plain strings; concrete machines define their vocabulary in
+:mod:`repro.statemachines.lte` and :mod:`repro.statemachines.nr`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from ..trace.events import EventType
+
+
+class InvalidTransitionError(ValueError):
+    """Raised when an event is not allowed in the current state."""
+
+    def __init__(self, state: str, event: EventType) -> None:
+        super().__init__(f"event {event.name} is not valid in state {state!r}")
+        self.state = state
+        self.event = event
+
+
+@dataclasses.dataclass(frozen=True)
+class Transition:
+    """One labelled edge of a state machine."""
+
+    source: str
+    event: EventType
+    target: str
+
+
+class StateMachine:
+    """An event-deterministic finite state machine.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (used in error messages and reports).
+    transitions:
+        The edge set.  At most one edge may leave a state per event.
+    initial_state:
+        State a fresh UE starts in.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        transitions: Iterable[Transition],
+        initial_state: str,
+    ) -> None:
+        self.name = name
+        self.initial_state = initial_state
+        self._table: Dict[Tuple[str, EventType], str] = {}
+        states = {initial_state}
+        for tr in transitions:
+            key = (tr.source, tr.event)
+            if key in self._table and self._table[key] != tr.target:
+                raise ValueError(
+                    f"{name}: conflicting transitions from {tr.source!r} "
+                    f"on {tr.event.name}"
+                )
+            self._table[key] = tr.target
+            states.add(tr.source)
+            states.add(tr.target)
+        self.states: FrozenSet[str] = frozenset(states)
+        if initial_state not in self.states:
+            raise ValueError(f"{name}: initial state {initial_state!r} unknown")
+
+    # ------------------------------------------------------------------
+    def transitions(self) -> List[Transition]:
+        """All edges, in a stable order."""
+        return [
+            Transition(src, ev, dst)
+            for (src, ev), dst in sorted(
+                self._table.items(), key=lambda kv: (kv[0][0], int(kv[0][1]))
+            )
+        ]
+
+    def events_from(self, state: str) -> List[EventType]:
+        """Event labels on edges leaving ``state``, in a stable order."""
+        return sorted(
+            (ev for (src, ev) in self._table if src == state), key=int
+        )
+
+    def successors(self, state: str) -> List[Tuple[EventType, str]]:
+        """``(event, next_state)`` pairs leaving ``state``."""
+        return [
+            (ev, self._table[(state, ev)]) for ev in self.events_from(state)
+        ]
+
+    def can_fire(self, state: str, event: EventType) -> bool:
+        """Whether ``event`` is allowed in ``state``."""
+        return (state, event) in self._table
+
+    def next_state(self, state: str, event: EventType) -> str:
+        """The state reached by firing ``event`` in ``state``.
+
+        Raises :class:`InvalidTransitionError` for disallowed events.
+        """
+        try:
+            return self._table[(state, event)]
+        except KeyError:
+            raise InvalidTransitionError(state, event) from None
+
+    def walk(
+        self, events: Iterable[EventType], start: Optional[str] = None
+    ) -> List[str]:
+        """States visited by an event sequence, including the start state."""
+        state = self.initial_state if start is None else start
+        path = [state]
+        for event in events:
+            state = self.next_state(state, event)
+            path.append(state)
+        return path
+
+    def accepts(
+        self, events: Iterable[EventType], start: Optional[str] = None
+    ) -> bool:
+        """Whether the event sequence is valid from ``start``."""
+        try:
+            self.walk(events, start)
+        except InvalidTransitionError:
+            return False
+        return True
+
+    def reachable_states(self, start: Optional[str] = None) -> FrozenSet[str]:
+        """States reachable from ``start`` (default: the initial state)."""
+        frontier = [self.initial_state if start is None else start]
+        seen = set(frontier)
+        while frontier:
+            state = frontier.pop()
+            for _, nxt in self.successors(state):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return frozenset(seen)
+
+    def __repr__(self) -> str:
+        return (
+            f"StateMachine({self.name!r}, {len(self.states)} states, "
+            f"{len(self._table)} transitions)"
+        )
+
+
+class HierarchicalStateMachine(StateMachine):
+    """A flattened two-level state machine.
+
+    The paper's Fig. 5 machine is hierarchical: top-level EMM-ECM
+    states, two of which (``CONNECTED`` and ``IDLE``) contain sub-state
+    machines.  Operationally the hierarchy flattens into an ordinary
+    machine over the *leaf* states; this subclass additionally records
+    the projection from each leaf to its top-level parent so replays and
+    generators can reason about the top level (e.g. "HO may only happen
+    while the top level is CONNECTED").
+    """
+
+    def __init__(
+        self,
+        name: str,
+        transitions: Iterable[Transition],
+        initial_state: str,
+        parent_of: Mapping[str, str],
+    ) -> None:
+        super().__init__(name, transitions, initial_state)
+        missing = self.states - set(parent_of)
+        if missing:
+            raise ValueError(f"{name}: states without a parent: {sorted(missing)}")
+        self._parent_of = dict(parent_of)
+        self.top_states: FrozenSet[str] = frozenset(self._parent_of.values())
+
+    def parent(self, state: str) -> str:
+        """Top-level state containing ``state`` (may be ``state`` itself)."""
+        return self._parent_of[state]
+
+    def leaves_of(self, top_state: str) -> FrozenSet[str]:
+        """Leaf states projected onto ``top_state``."""
+        return frozenset(
+            s for s, parent in self._parent_of.items() if parent == top_state
+        )
+
+    def is_top_level_change(self, source: str, target: str) -> bool:
+        """Whether an edge crosses top-level states."""
+        return self.parent(source) != self.parent(target)

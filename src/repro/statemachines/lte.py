@@ -1,0 +1,168 @@
+"""Concrete LTE state machines from the paper.
+
+Three machines are defined:
+
+* :func:`emm_machine` / :func:`ecm_machine` — the two independent 3GPP
+  machines of Fig. 1.
+* :func:`emm_ecm_machine` — their merge (top level of Fig. 5; also the
+  machine used by the ``Base`` and ``V1`` baselines).  The merge relies
+  on the observation that a UE leaving ``DEREGISTERED`` always enters
+  ``CONNECTED``.
+* :func:`two_level_machine` — the paper's contribution (Fig. 5): the
+  merged machine refined with six sub-states that capture where ``HO``
+  and ``TAU`` may occur and what must follow them.
+"""
+
+from __future__ import annotations
+
+from ..trace.events import EventType
+from .fsm import HierarchicalStateMachine, StateMachine, Transition
+
+# ---------------------------------------------------------------------------
+# State names
+# ---------------------------------------------------------------------------
+
+# EMM states (Fig. 1a).
+EMM_DEREGISTERED = "EMM_DEREGISTERED"
+EMM_REGISTERED = "EMM_REGISTERED"
+
+# ECM states (Fig. 1b).
+ECM_CONNECTED = "ECM_CONNECTED"
+ECM_IDLE = "ECM_IDLE"
+
+# Top-level states of the merged machine.
+DEREGISTERED = "DEREGISTERED"
+CONNECTED = "CONNECTED"
+IDLE = "IDLE"
+TOP_LEVEL_STATES = (DEREGISTERED, CONNECTED, IDLE)
+
+# Sub-states of the two-level machine (Fig. 5).  The name of a sub-state
+# is the event that was fired to enter it.
+SRV_REQ_S = "SRV_REQ_S"
+HO_S = "HO_S"
+TAU_S_CONN = "TAU_S_CONN"
+S1_REL_S_1 = "S1_REL_S_1"
+S1_REL_S_2 = "S1_REL_S_2"
+TAU_S_IDLE = "TAU_S_IDLE"
+
+CONNECTED_SUBSTATES = (SRV_REQ_S, HO_S, TAU_S_CONN)
+IDLE_SUBSTATES = (S1_REL_S_1, S1_REL_S_2, TAU_S_IDLE)
+TWO_LEVEL_STATES = (DEREGISTERED,) + CONNECTED_SUBSTATES + IDLE_SUBSTATES
+
+#: Projection of every leaf of the two-level machine onto its top-level state.
+PARENT_OF = {
+    DEREGISTERED: DEREGISTERED,
+    SRV_REQ_S: CONNECTED,
+    HO_S: CONNECTED,
+    TAU_S_CONN: CONNECTED,
+    S1_REL_S_1: IDLE,
+    S1_REL_S_2: IDLE,
+    TAU_S_IDLE: IDLE,
+}
+
+#: The nine second-level transitions evaluated in Table 10, written as
+#: (source sub-state, triggering event).
+SECOND_LEVEL_TRANSITIONS = (
+    (SRV_REQ_S, EventType.HO),
+    (HO_S, EventType.HO),
+    (TAU_S_CONN, EventType.HO),
+    (SRV_REQ_S, EventType.TAU),
+    (TAU_S_CONN, EventType.TAU),
+    (HO_S, EventType.TAU),
+    (S1_REL_S_1, EventType.TAU),
+    (S1_REL_S_2, EventType.TAU),
+    (TAU_S_IDLE, EventType.S1_CONN_REL),
+)
+
+
+def emm_machine() -> StateMachine:
+    """The EPS Mobility Management machine (Fig. 1a)."""
+    return StateMachine(
+        "EMM",
+        [
+            Transition(EMM_DEREGISTERED, EventType.ATCH, EMM_REGISTERED),
+            Transition(EMM_REGISTERED, EventType.DTCH, EMM_DEREGISTERED),
+        ],
+        initial_state=EMM_DEREGISTERED,
+    )
+
+
+def ecm_machine() -> StateMachine:
+    """The EPS Connection Management machine (Fig. 1b)."""
+    return StateMachine(
+        "ECM",
+        [
+            Transition(ECM_IDLE, EventType.SRV_REQ, ECM_CONNECTED),
+            Transition(ECM_CONNECTED, EventType.S1_CONN_REL, ECM_IDLE),
+        ],
+        initial_state=ECM_IDLE,
+    )
+
+
+def emm_ecm_machine() -> StateMachine:
+    """The merged EMM-ECM machine (top level of Fig. 5).
+
+    Used directly by the ``Base`` and ``V1`` baselines, which overlay
+    ``HO``/``TAU`` as independent processes instead of modeling their
+    state dependence.
+    """
+    return StateMachine(
+        "EMM-ECM",
+        [
+            Transition(DEREGISTERED, EventType.ATCH, CONNECTED),
+            Transition(CONNECTED, EventType.DTCH, DEREGISTERED),
+            Transition(IDLE, EventType.DTCH, DEREGISTERED),
+            Transition(IDLE, EventType.SRV_REQ, CONNECTED),
+            Transition(CONNECTED, EventType.S1_CONN_REL, IDLE),
+        ],
+        initial_state=DEREGISTERED,
+    )
+
+
+def two_level_machine() -> HierarchicalStateMachine:
+    """The paper's two-level hierarchical machine (Fig. 5), flattened.
+
+    Encoded constraints:
+
+    * ``ATCH`` enters ``CONNECTED`` directly (at ``SRV_REQ_S``).
+    * ``SRV_REQ`` may only fire from ``S1_REL_S_1`` / ``S1_REL_S_2``
+      (the starred edge): after a ``TAU`` in IDLE the next event must be
+      the ``S1_CONN_REL`` that releases the TAU's signaling resources.
+    * ``S1_CONN_REL`` may fire from any CONNECTED sub-state (entering
+      ``S1_REL_S_1``) and from ``TAU_S_IDLE`` (entering ``S1_REL_S_2``).
+    * ``HO`` only exists inside CONNECTED; ``TAU`` exists in both top
+      states but lands in per-top-state sub-states.
+    * ``DTCH`` (power-off) may fire from any registered sub-state.
+    """
+    transitions = [
+        Transition(DEREGISTERED, EventType.ATCH, SRV_REQ_S),
+        # Power-off from anywhere while registered.
+        *[
+            Transition(state, EventType.DTCH, DEREGISTERED)
+            for state in CONNECTED_SUBSTATES + IDLE_SUBSTATES
+        ],
+        # Connection management.
+        Transition(S1_REL_S_1, EventType.SRV_REQ, SRV_REQ_S),
+        Transition(S1_REL_S_2, EventType.SRV_REQ, SRV_REQ_S),
+        *[
+            Transition(state, EventType.S1_CONN_REL, S1_REL_S_1)
+            for state in CONNECTED_SUBSTATES
+        ],
+        Transition(TAU_S_IDLE, EventType.S1_CONN_REL, S1_REL_S_2),
+        # Handover (CONNECTED only).
+        Transition(SRV_REQ_S, EventType.HO, HO_S),
+        Transition(HO_S, EventType.HO, HO_S),
+        Transition(TAU_S_CONN, EventType.HO, HO_S),
+        # Tracking-area updates.
+        Transition(SRV_REQ_S, EventType.TAU, TAU_S_CONN),
+        Transition(HO_S, EventType.TAU, TAU_S_CONN),
+        Transition(TAU_S_CONN, EventType.TAU, TAU_S_CONN),
+        Transition(S1_REL_S_1, EventType.TAU, TAU_S_IDLE),
+        Transition(S1_REL_S_2, EventType.TAU, TAU_S_IDLE),
+    ]
+    return HierarchicalStateMachine(
+        "LTE-two-level",
+        transitions,
+        initial_state=DEREGISTERED,
+        parent_of=PARENT_OF,
+    )

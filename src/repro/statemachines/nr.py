@@ -1,0 +1,64 @@
+"""The adjusted two-level state machine for 5G SA (Fig. 6).
+
+5G NSA runs on LTE's MCN, so it reuses the LTE two-level machine of
+Fig. 5.  5G SA has no ``TAU`` event; the paper derives its machine by
+removing the TAU states and edges from Fig. 5, which collapses IDLE to
+a single sub-state.
+
+Event labels reuse :class:`repro.trace.events.EventType` members — the
+integer encodings line up one-to-one with the 5G names of Table 2
+(``ATCH`` ↔ ``REGISTER``, ``S1_CONN_REL`` ↔ ``AN_REL``, ...), which lets
+the same generator machinery drive both generations; use
+:mod:`repro.fiveg.mapping` to render 5G protocol names.
+"""
+
+from __future__ import annotations
+
+from ..trace.events import EventType
+from .fsm import HierarchicalStateMachine, Transition
+
+RM_DEREGISTERED = "RM_DEREGISTERED"
+CM_CONNECTED = "CM_CONNECTED"
+CM_IDLE = "CM_IDLE"
+
+# CONNECTED sub-states retained from the LTE machine.
+SRV_REQ_S = "SRV_REQ_S"
+HO_S = "HO_S"
+
+NR_CONNECTED_SUBSTATES = (SRV_REQ_S, HO_S)
+NR_STATES = (RM_DEREGISTERED, SRV_REQ_S, HO_S, CM_IDLE)
+
+PARENT_OF_NR = {
+    RM_DEREGISTERED: RM_DEREGISTERED,
+    SRV_REQ_S: CM_CONNECTED,
+    HO_S: CM_CONNECTED,
+    CM_IDLE: CM_IDLE,
+}
+
+
+def nr_sa_machine() -> HierarchicalStateMachine:
+    """The two-level machine for 5G SA (Fig. 6), flattened.
+
+    Relative to :func:`repro.statemachines.lte.two_level_machine` the
+    TAU states/edges are removed; IDLE therefore has a single sub-state.
+    """
+    transitions = [
+        Transition(RM_DEREGISTERED, EventType.ATCH, SRV_REQ_S),  # REGISTER
+        *[
+            Transition(state, EventType.DTCH, RM_DEREGISTERED)   # DEREGISTER
+            for state in NR_CONNECTED_SUBSTATES + (CM_IDLE,)
+        ],
+        Transition(CM_IDLE, EventType.SRV_REQ, SRV_REQ_S),
+        *[
+            Transition(state, EventType.S1_CONN_REL, CM_IDLE)    # AN_REL
+            for state in NR_CONNECTED_SUBSTATES
+        ],
+        Transition(SRV_REQ_S, EventType.HO, HO_S),
+        Transition(HO_S, EventType.HO, HO_S),
+    ]
+    return HierarchicalStateMachine(
+        "NR-SA-two-level",
+        transitions,
+        initial_state=RM_DEREGISTERED,
+        parent_of=PARENT_OF_NR,
+    )

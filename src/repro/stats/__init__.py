@@ -1,0 +1,44 @@
+"""Statistical machinery: goodness-of-fit tests, ECDF distances, burstiness."""
+
+from .anderson import (
+    CRITICAL_VALUES,
+    SIGNIFICANCE_LEVELS,
+    AndersonResult,
+    anderson_exponential,
+)
+from .ecdf import ecdf, evaluate_ecdf, ks_distance_to, max_y_distance
+from .ks import DEFAULT_SIGNIFICANCE, KSResult, fit_and_ks_test, kolmogorov_sf, ks_test
+from .selfsimilarity import HurstEstimate, hurst_rescaled_range, hurst_variance_time
+from .variance_time import (
+    BIN_WIDTH,
+    DEFAULT_SCALES,
+    VarianceTimeCurve,
+    burstiness_gap,
+    poisson_reference_curve,
+    variance_time_curve,
+)
+
+__all__ = [
+    "AndersonResult",
+    "BIN_WIDTH",
+    "CRITICAL_VALUES",
+    "HurstEstimate",
+    "hurst_rescaled_range",
+    "hurst_variance_time",
+    "DEFAULT_SCALES",
+    "DEFAULT_SIGNIFICANCE",
+    "KSResult",
+    "SIGNIFICANCE_LEVELS",
+    "VarianceTimeCurve",
+    "anderson_exponential",
+    "burstiness_gap",
+    "ecdf",
+    "evaluate_ecdf",
+    "fit_and_ks_test",
+    "kolmogorov_sf",
+    "ks_distance_to",
+    "ks_test",
+    "max_y_distance",
+    "poisson_reference_curve",
+    "variance_time_curve",
+]

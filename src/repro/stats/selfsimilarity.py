@@ -1,0 +1,130 @@
+"""Self-similarity estimation for event arrival processes.
+
+The variance-time analysis of §4.2 is the classic self-similarity
+diagnostic (Leland et al.): for an exactly second-order self-similar
+process with Hurst parameter ``H``, the normalized variance of
+``M``-aggregated rates decays like ``M^(2H - 2)`` — slope ``-1`` on a
+log-log plot for Poisson (``H = 0.5``), shallower for long-range-
+dependent traffic (``H > 0.5``).  This module estimates ``H`` from the
+variance-time curve and, independently, by rescaled-range (R/S)
+analysis, giving the library a quantitative burstiness summary to
+complement Fig. 3's visual one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .variance_time import BIN_WIDTH, DEFAULT_SCALES, variance_time_curve
+
+
+@dataclasses.dataclass(frozen=True)
+class HurstEstimate:
+    """A Hurst-parameter estimate with its regression diagnostics."""
+
+    hurst: float
+    slope: float
+    r_squared: float
+    num_points: int
+
+    @property
+    def is_long_range_dependent(self) -> bool:
+        """H > 0.5 indicates long-range dependence (bursty traffic)."""
+        return self.hurst > 0.5
+
+
+def _fit_line(x: np.ndarray, y: np.ndarray) -> tuple:
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return slope, r_squared
+
+
+def hurst_variance_time(
+    event_times: Sequence[float],
+    *,
+    duration: Optional[float] = None,
+    scales: Sequence[float] = DEFAULT_SCALES,
+    bin_width: float = BIN_WIDTH,
+) -> HurstEstimate:
+    """Estimate H from the variance-time slope: ``H = 1 + slope / 2``."""
+    curve = variance_time_curve(
+        event_times, duration=duration, scales=scales, bin_width=bin_width
+    )
+    if curve.scales.size < 3:
+        raise ValueError(
+            f"need >= 3 usable scales, got {curve.scales.size}; "
+            "extend the observation span or lower the scales"
+        )
+    log_m = np.log10(curve.scales)
+    log_v = curve.log10()
+    slope, r_squared = _fit_line(log_m, log_v)
+    hurst = 1.0 + slope / 2.0
+    return HurstEstimate(
+        hurst=float(np.clip(hurst, 0.0, 1.0)),
+        slope=float(slope),
+        r_squared=float(r_squared),
+        num_points=int(curve.scales.size),
+    )
+
+
+def hurst_rescaled_range(
+    event_times: Sequence[float],
+    *,
+    duration: Optional[float] = None,
+    bin_seconds: float = 1.0,
+    min_window: int = 8,
+) -> HurstEstimate:
+    """Estimate H by rescaled-range (R/S) analysis of the rate series.
+
+    The event stream is binned into a rate series; for a ladder of
+    window sizes ``n`` the mean R/S statistic scales like ``n^H``.
+    """
+    times = np.asarray(event_times, dtype=np.float64)
+    if times.size == 0:
+        raise ValueError("hurst_rescaled_range needs events")
+    if duration is None:
+        duration = float(times.max()) + bin_seconds
+    num_bins = max(int(np.ceil(duration / bin_seconds)), min_window * 2)
+    idx = np.minimum((times / bin_seconds).astype(np.int64), num_bins - 1)
+    series = np.bincount(idx, minlength=num_bins).astype(np.float64)
+
+    sizes = []
+    n = min_window
+    while n <= num_bins // 2:
+        sizes.append(n)
+        n *= 2
+    if len(sizes) < 3:
+        raise ValueError(
+            "series too short for R/S analysis; extend the observation span"
+        )
+
+    log_n, log_rs = [], []
+    for n in sizes:
+        num_windows = num_bins // n
+        rs_values = []
+        for w in range(num_windows):
+            window = series[w * n: (w + 1) * n]
+            dev = window - window.mean()
+            z = np.cumsum(dev)
+            r = float(z.max() - z.min())
+            s = float(window.std())
+            if s > 0 and r > 0:
+                rs_values.append(r / s)
+        if rs_values:
+            log_n.append(np.log10(n))
+            log_rs.append(np.log10(np.mean(rs_values)))
+    if len(log_n) < 3:
+        raise ValueError("too few usable R/S window sizes")
+    slope, r_squared = _fit_line(np.asarray(log_n), np.asarray(log_rs))
+    return HurstEstimate(
+        hurst=float(np.clip(slope, 0.0, 1.0)),
+        slope=float(slope),
+        r_squared=float(r_squared),
+        num_points=len(log_n),
+    )

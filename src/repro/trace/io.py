@@ -1,0 +1,91 @@
+"""Reading and writing traces.
+
+Two formats are supported:
+
+* **CSV** — one header row ``ue_id,time,event,device`` followed by one
+  row per event; event and device columns use the protocol names
+  (``SRV_REQ``, ``PHONE``, ...).  Human-readable, diff-friendly.
+* **NPZ** — the four raw columns in a compressed numpy archive.
+  Compact and fast; the format of choice for large synthetic traces.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Union
+
+import numpy as np
+
+from .events import DeviceType, EventType
+from .trace import Trace
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+_CSV_HEADER = ["ue_id", "time", "event", "device"]
+
+
+def write_csv(trace: Trace, path: PathLike) -> None:
+    """Write ``trace`` to ``path`` in the CSV trace format."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_CSV_HEADER)
+        for i in range(len(trace)):
+            writer.writerow(
+                [
+                    int(trace.ue_ids[i]),
+                    f"{trace.times[i]:.3f}",
+                    EventType(int(trace.event_types[i])).name,
+                    DeviceType(int(trace.device_types[i])).name,
+                ]
+            )
+
+
+def read_csv(path: PathLike) -> Trace:
+    """Read a trace previously written by :func:`write_csv`."""
+    ue_ids = []
+    times = []
+    events = []
+    devices = []
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != _CSV_HEADER:
+            raise ValueError(
+                f"unexpected CSV header {header!r}; expected {_CSV_HEADER!r}"
+            )
+        for lineno, row in enumerate(reader, start=2):
+            if len(row) != 4:
+                raise ValueError(f"{path}:{lineno}: expected 4 columns, got {len(row)}")
+            ue_ids.append(int(row[0]))
+            times.append(float(row[1]))
+            events.append(int(EventType[row[2]]))
+            devices.append(int(DeviceType[row[3]]))
+    return Trace(
+        np.asarray(ue_ids, dtype=np.int64),
+        np.asarray(times, dtype=np.float64),
+        np.asarray(events, dtype=np.int8),
+        np.asarray(devices, dtype=np.int8),
+    )
+
+
+def write_npz(trace: Trace, path: PathLike) -> None:
+    """Write ``trace`` to ``path`` as a compressed numpy archive."""
+    np.savez_compressed(
+        path,
+        ue_ids=trace.ue_ids,
+        times=trace.times,
+        event_types=trace.event_types,
+        device_types=trace.device_types,
+    )
+
+
+def read_npz(path: PathLike) -> Trace:
+    """Read a trace previously written by :func:`write_npz`."""
+    with np.load(path) as data:
+        return Trace(
+            data["ue_ids"],
+            data["times"],
+            data["event_types"],
+            data["device_types"],
+        )

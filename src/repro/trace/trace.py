@@ -1,0 +1,299 @@
+"""Column-oriented container for control-plane event traces.
+
+A :class:`Trace` stores events as parallel numpy arrays — UE id,
+timestamp (float seconds from the trace epoch), event type, and device
+type — and offers the slicing operations the modeling pipeline needs:
+per-UE views, per-hour windows, and device filters.  The representation
+is immutable by convention; operations return new ``Trace`` views or
+copies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .events import (
+    ALL_DEVICE_TYPES,
+    SECONDS_PER_HOUR,
+    DeviceType,
+    EventType,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Event:
+    """A single control-plane event, as emitted by a generator."""
+
+    ue_id: int
+    time: float
+    event_type: EventType
+    device_type: DeviceType
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"event time must be non-negative, got {self.time}")
+
+
+class Trace:
+    """An ordered collection of control-plane events.
+
+    Events are kept sorted by ``(time, ue_id)``.  All four columns have
+    equal length.  ``ue_ids`` are arbitrary non-negative integers; the
+    device type of a UE is constant across the trace (checked on
+    construction when ``validate=True``).
+    """
+
+    __slots__ = ("ue_ids", "times", "event_types", "device_types", "_ue_index")
+
+    def __init__(
+        self,
+        ue_ids: np.ndarray,
+        times: np.ndarray,
+        event_types: np.ndarray,
+        device_types: np.ndarray,
+        *,
+        sort: bool = True,
+        validate: bool = True,
+    ) -> None:
+        ue_ids = np.asarray(ue_ids, dtype=np.int64)
+        times = np.asarray(times, dtype=np.float64)
+        event_types = np.asarray(event_types, dtype=np.int8)
+        device_types = np.asarray(device_types, dtype=np.int8)
+
+        lengths = {len(ue_ids), len(times), len(event_types), len(device_types)}
+        if len(lengths) != 1:
+            raise ValueError(f"column lengths differ: {sorted(lengths)}")
+
+        if sort and len(times) > 1:
+            order = np.lexsort((ue_ids, times))
+            ue_ids = ue_ids[order]
+            times = times[order]
+            event_types = event_types[order]
+            device_types = device_types[order]
+
+        if validate and len(times) > 0:
+            if times.min() < 0:
+                raise ValueError("trace contains negative timestamps")
+            if event_types.min() < 0 or event_types.max() > max(EventType):
+                raise ValueError("trace contains unknown event types")
+            if device_types.min() < 0 or device_types.max() > max(DeviceType):
+                raise ValueError("trace contains unknown device types")
+
+        self.ue_ids = ue_ids
+        self.times = times
+        self.event_types = event_types
+        self.device_types = device_types
+        self._ue_index: Optional[Dict[int, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_events(cls, events: Iterable[Event]) -> "Trace":
+        """Build a trace from an iterable of :class:`Event` records."""
+        events = list(events)
+        return cls(
+            np.array([e.ue_id for e in events], dtype=np.int64),
+            np.array([e.time for e in events], dtype=np.float64),
+            np.array([int(e.event_type) for e in events], dtype=np.int8),
+            np.array([int(e.device_type) for e in events], dtype=np.int8),
+        )
+
+    @classmethod
+    def empty(cls) -> "Trace":
+        """An event-free trace."""
+        return cls(
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+            np.empty(0, dtype=np.int8),
+            np.empty(0, dtype=np.int8),
+            sort=False,
+            validate=False,
+        )
+
+    @classmethod
+    def concatenate(cls, traces: Sequence["Trace"]) -> "Trace":
+        """Merge several traces into one (re-sorted by time)."""
+        if not traces:
+            return cls.empty()
+        return cls(
+            np.concatenate([t.ue_ids for t in traces]),
+            np.concatenate([t.times for t in traces]),
+            np.concatenate([t.event_types for t in traces]),
+            np.concatenate([t.device_types for t in traces]),
+            validate=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[Event]:
+        for i in range(len(self)):
+            yield self[i]
+
+    def __getitem__(self, i: int) -> Event:
+        return Event(
+            ue_id=int(self.ue_ids[i]),
+            time=float(self.times[i]),
+            event_type=EventType(int(self.event_types[i])),
+            device_type=DeviceType(int(self.device_types[i])),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return (
+            np.array_equal(self.ue_ids, other.ue_ids)
+            and np.array_equal(self.times, other.times)
+            and np.array_equal(self.event_types, other.event_types)
+            and np.array_equal(self.device_types, other.device_types)
+        )
+
+    def __repr__(self) -> str:
+        span = f"[{self.times[0]:.3f}, {self.times[-1]:.3f}]s" if len(self) else "[]"
+        return f"Trace({len(self)} events, {self.num_ues} UEs, span {span})"
+
+    # ------------------------------------------------------------------
+    # Summary properties
+    # ------------------------------------------------------------------
+    @property
+    def num_ues(self) -> int:
+        """Number of distinct UEs appearing in the trace."""
+        return len(np.unique(self.ue_ids))
+
+    @property
+    def duration(self) -> float:
+        """Span between the first and last event, in seconds."""
+        if len(self) == 0:
+            return 0.0
+        return float(self.times[-1] - self.times[0])
+
+    def unique_ues(self) -> np.ndarray:
+        """Sorted array of distinct UE ids."""
+        return np.unique(self.ue_ids)
+
+    def device_of(self) -> Dict[int, DeviceType]:
+        """Map every UE id to its device type."""
+        out: Dict[int, DeviceType] = {}
+        ues, first = np.unique(self.ue_ids, return_index=True)
+        for ue, idx in zip(ues, first):
+            out[int(ue)] = DeviceType(int(self.device_types[idx]))
+        return out
+
+    # ------------------------------------------------------------------
+    # Slicing
+    # ------------------------------------------------------------------
+    def _select(self, mask: np.ndarray) -> "Trace":
+        return Trace(
+            self.ue_ids[mask],
+            self.times[mask],
+            self.event_types[mask],
+            self.device_types[mask],
+            sort=False,
+            validate=False,
+        )
+
+    def filter_device(self, device_type: DeviceType) -> "Trace":
+        """Events of UEs of one device type."""
+        return self._select(self.device_types == int(device_type))
+
+    def filter_event(self, event_type: EventType) -> "Trace":
+        """Events of one event type."""
+        return self._select(self.event_types == int(event_type))
+
+    def filter_ues(self, ue_ids: Iterable[int]) -> "Trace":
+        """Events belonging to the given set of UEs."""
+        wanted = np.asarray(sorted(set(int(u) for u in ue_ids)), dtype=np.int64)
+        mask = np.isin(self.ue_ids, wanted)
+        return self._select(mask)
+
+    def window(self, start: float, end: float) -> "Trace":
+        """Events with ``start <= time < end``."""
+        if end < start:
+            raise ValueError(f"window end {end} precedes start {start}")
+        lo = np.searchsorted(self.times, start, side="left")
+        hi = np.searchsorted(self.times, end, side="left")
+        return self._select(slice(lo, hi))
+
+    def hour_window(self, hour_index: int) -> "Trace":
+        """Events in the ``hour_index``-th one-hour interval of the trace."""
+        start = hour_index * SECONDS_PER_HOUR
+        return self.window(start, start + SECONDS_PER_HOUR)
+
+    def shift(self, offset: float) -> "Trace":
+        """A copy of the trace with ``offset`` added to every timestamp."""
+        return Trace(
+            self.ue_ids.copy(),
+            self.times + offset,
+            self.event_types.copy(),
+            self.device_types.copy(),
+            sort=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Per-UE access
+    # ------------------------------------------------------------------
+    def _build_ue_index(self) -> Dict[int, np.ndarray]:
+        if self._ue_index is None:
+            index: Dict[int, List[int]] = {}
+            for i, ue in enumerate(self.ue_ids):
+                index.setdefault(int(ue), []).append(i)
+            self._ue_index = {
+                ue: np.asarray(rows, dtype=np.int64) for ue, rows in index.items()
+            }
+        return self._ue_index
+
+    def per_ue(self) -> Iterator[Tuple[int, "Trace"]]:
+        """Yield ``(ue_id, sub_trace)`` for every UE, in UE-id order.
+
+        The sub-traces preserve time order.
+        """
+        index = self._build_ue_index()
+        for ue in sorted(index):
+            yield ue, self._select(index[ue])
+
+    def ue_trace(self, ue_id: int) -> "Trace":
+        """The events of one UE (time-ordered)."""
+        index = self._build_ue_index()
+        rows = index.get(int(ue_id))
+        if rows is None:
+            return Trace.empty()
+        return self._select(rows)
+
+    def events_per_ue(self, event_type: Optional[EventType] = None) -> Dict[int, int]:
+        """Count events per UE, optionally restricted to one event type.
+
+        UEs present in the trace but with zero matching events still
+        appear with count 0.
+        """
+        counts = {int(ue): 0 for ue in self.unique_ues()}
+        if event_type is None:
+            ues, n = np.unique(self.ue_ids, return_counts=True)
+        else:
+            mask = self.event_types == int(event_type)
+            ues, n = np.unique(self.ue_ids[mask], return_counts=True)
+        for ue, c in zip(ues, n):
+            counts[int(ue)] = int(c)
+        return counts
+
+    def breakdown(self) -> Dict[EventType, float]:
+        """Fraction of events per event type (sums to 1 for non-empty traces)."""
+        total = len(self)
+        out: Dict[EventType, float] = {}
+        for et in EventType:
+            n = int(np.count_nonzero(self.event_types == int(et)))
+            out[et] = n / total if total else 0.0
+        return out
+
+    def device_mix(self) -> Dict[DeviceType, int]:
+        """Number of distinct UEs per device type."""
+        out = {dt: 0 for dt in ALL_DEVICE_TYPES}
+        for ue, dt in self.device_of().items():
+            out[dt] += 1
+        return out

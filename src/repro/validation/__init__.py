@@ -1,0 +1,41 @@
+"""Validation metrics: macroscopic breakdowns and microscopic CDF distances."""
+
+from .aggregate import AggregateComparison, compare_aggregate, rate_curve
+from .breakdown import (
+    BREAKDOWN_ROWS,
+    breakdown_difference,
+    breakdown_with_states,
+    macro_comparison,
+    max_abs_breakdown_difference,
+)
+from .microscopic import (
+    ACTIVITY_THRESHOLD,
+    activity_split_ydistance,
+    count_ydistance,
+    micro_comparison,
+    per_ue_counts,
+    sojourn_ydistance,
+    state_sojourns,
+)
+from .report import format_percent, format_ratio, format_table
+
+__all__ = [
+    "ACTIVITY_THRESHOLD",
+    "AggregateComparison",
+    "compare_aggregate",
+    "rate_curve",
+    "BREAKDOWN_ROWS",
+    "activity_split_ydistance",
+    "breakdown_difference",
+    "breakdown_with_states",
+    "count_ydistance",
+    "format_percent",
+    "format_ratio",
+    "format_table",
+    "macro_comparison",
+    "max_abs_breakdown_difference",
+    "micro_comparison",
+    "per_ue_counts",
+    "sojourn_ydistance",
+    "state_sojourns",
+]

@@ -1,0 +1,93 @@
+"""Aggregate-traffic validation: rate curves and burstiness preservation.
+
+Macroscopic breakdowns (Tables 4/11) compare event *mixes*; these
+helpers compare the *time structure* of the aggregate stream — the
+per-minute rate curve and the variance–time burstiness — between a
+synthesized and a real trace.  They quantify the property that makes
+the generator useful for driving an MCN: the synthesized aggregate is
+bursty like the real one, not a smoothed Poisson stream.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..stats.ecdf import max_y_distance
+from ..stats.variance_time import (
+    DEFAULT_SCALES,
+    burstiness_gap,
+    variance_time_curve,
+)
+from ..trace.events import EventType
+from ..trace.trace import Trace
+
+
+def rate_curve(
+    trace: Trace,
+    *,
+    bin_seconds: float = 60.0,
+    duration: Optional[float] = None,
+    event_type: Optional[EventType] = None,
+) -> np.ndarray:
+    """Events per bin over the trace's span (the aggregate load curve)."""
+    if bin_seconds <= 0:
+        raise ValueError("bin_seconds must be positive")
+    times = trace.times
+    if event_type is not None:
+        times = times[trace.event_types == int(event_type)]
+    if duration is None:
+        duration = float(trace.times.max()) + bin_seconds if len(trace) else bin_seconds
+    num_bins = max(1, int(np.ceil(duration / bin_seconds)))
+    if times.size == 0:
+        return np.zeros(num_bins, dtype=np.int64)
+    idx = np.minimum((times / bin_seconds).astype(np.int64), num_bins - 1)
+    return np.bincount(idx, minlength=num_bins)
+
+
+@dataclasses.dataclass(frozen=True)
+class AggregateComparison:
+    """How closely a synthesized aggregate matches the real one."""
+
+    volume_ratio: float            #: synthesized / real total events
+    rate_curve_correlation: float  #: Pearson r of per-minute rates
+    rate_distribution_ydistance: float  #: K-S distance of per-minute rates
+    burstiness_gap_mean: float     #: mean log10 VT gap (syn - real)
+
+
+def compare_aggregate(
+    real: Trace,
+    synthesized: Trace,
+    *,
+    bin_seconds: float = 60.0,
+    scales: Sequence[float] = DEFAULT_SCALES,
+) -> AggregateComparison:
+    """Compare aggregate time structure of two traces over a common span."""
+    if len(real) == 0 or len(synthesized) == 0:
+        raise ValueError("both traces must be non-empty")
+    duration = max(float(real.times.max()), float(synthesized.times.max())) + 1.0
+    real_curve = rate_curve(real, bin_seconds=bin_seconds, duration=duration)
+    syn_curve = rate_curve(synthesized, bin_seconds=bin_seconds, duration=duration)
+
+    if real_curve.std() > 0 and syn_curve.std() > 0:
+        correlation = float(np.corrcoef(real_curve, syn_curve)[0, 1])
+    else:
+        correlation = float("nan")
+
+    real_vt = variance_time_curve(real.times, duration=duration, scales=scales)
+    syn_vt = variance_time_curve(synthesized.times, duration=duration, scales=scales)
+    try:
+        gap = float(np.mean(burstiness_gap(syn_vt, real_vt)))
+    except ValueError:
+        gap = float("nan")
+
+    return AggregateComparison(
+        volume_ratio=len(synthesized) / len(real),
+        rate_curve_correlation=correlation,
+        rate_distribution_ydistance=max_y_distance(
+            real_curve.astype(float), syn_curve.astype(float)
+        ),
+        burstiness_gap_mean=gap,
+    )

@@ -1,0 +1,163 @@
+"""Microscopic validation: per-UE CDF comparisons (Tables 5 & 6, Fig. 7).
+
+Two per-UE quantities are compared between a synthesized and a real
+trace via the **maximum y-distance** of their CDFs:
+
+* the number of ``SRV_REQ`` / ``S1_CONN_REL`` events per UE, and
+* the sojourn time per CONNECTED / IDLE visit.
+
+Traces only contain UEs that emitted at least one event, so the count
+CDFs take the nominal population size and pad zero-count UEs — both
+sides are treated identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..stats.ecdf import max_y_distance
+from ..statemachines.replay import replay_trace, top_state_sojourns
+from ..trace.events import DeviceType, EventType
+from ..trace.trace import Trace
+
+
+def per_ue_counts(
+    trace: Trace,
+    device_type: DeviceType,
+    event_type: EventType,
+    *,
+    num_ues: Optional[int] = None,
+) -> np.ndarray:
+    """Per-UE counts of one event type, zero-padded to ``num_ues``.
+
+    ``num_ues`` is the nominal population of that device type (UEs with
+    no events at all are invisible in the trace but still part of the
+    population the CDF describes).
+    """
+    sub = trace.filter_device(device_type)
+    counts = list(sub.events_per_ue(event_type).values())
+    if num_ues is not None:
+        if num_ues < len(counts):
+            raise ValueError(
+                f"num_ues={num_ues} smaller than UEs present ({len(counts)})"
+            )
+        counts.extend([0] * (num_ues - len(counts)))
+    return np.asarray(sorted(counts), dtype=np.float64)
+
+
+def count_ydistance(
+    real: Trace,
+    synthesized: Trace,
+    device_type: DeviceType,
+    event_type: EventType,
+    *,
+    real_num_ues: Optional[int] = None,
+    syn_num_ues: Optional[int] = None,
+) -> float:
+    """Max y-distance between per-UE count CDFs (Table 5, top half)."""
+    real_counts = per_ue_counts(real, device_type, event_type, num_ues=real_num_ues)
+    syn_counts = per_ue_counts(
+        synthesized, device_type, event_type, num_ues=syn_num_ues
+    )
+    if real_counts.size == 0 or syn_counts.size == 0:
+        raise ValueError("one of the traces has no UEs of this device type")
+    return max_y_distance(real_counts, syn_counts)
+
+
+def state_sojourns(
+    trace: Trace, device_type: DeviceType, state: str
+) -> np.ndarray:
+    """All complete sojourn durations in a top-level state, across UEs."""
+    sub = trace.filter_device(device_type)
+    results = replay_trace(sub)
+    sojourns = top_state_sojourns(results)
+    return sojourns.get(state, np.empty(0))
+
+
+def sojourn_ydistance(
+    real: Trace,
+    synthesized: Trace,
+    device_type: DeviceType,
+    state: str,
+) -> float:
+    """Max y-distance between sojourn CDFs (Table 5, bottom half)."""
+    real_s = state_sojourns(real, device_type, state)
+    syn_s = state_sojourns(synthesized, device_type, state)
+    if real_s.size == 0 or syn_s.size == 0:
+        raise ValueError(
+            f"no complete {state} sojourns for {device_type.name} "
+            "in one of the traces"
+        )
+    return max_y_distance(real_s, syn_s)
+
+
+#: Table 6's activity threshold: inactive UEs emit <= 2 events per hour.
+ACTIVITY_THRESHOLD = 2
+
+
+def activity_split_ydistance(
+    real: Trace,
+    synthesized: Trace,
+    device_type: DeviceType,
+    event_type: EventType,
+    *,
+    threshold: int = ACTIVITY_THRESHOLD,
+    real_num_ues: Optional[int] = None,
+    syn_num_ues: Optional[int] = None,
+) -> Tuple[float, float]:
+    """Y-distances for (inactive, active) UE groups (Table 6).
+
+    Each trace's UEs are split by their own counts; the CDFs of the two
+    groups are compared separately.
+    """
+    real_counts = per_ue_counts(real, device_type, event_type, num_ues=real_num_ues)
+    syn_counts = per_ue_counts(
+        synthesized, device_type, event_type, num_ues=syn_num_ues
+    )
+    out = []
+    for selector in (
+        lambda c: c[c <= threshold],
+        lambda c: c[c > threshold],
+    ):
+        r = selector(real_counts)
+        s = selector(syn_counts)
+        if r.size == 0 or s.size == 0:
+            out.append(float("nan"))
+        else:
+            out.append(max_y_distance(r, s))
+    return out[0], out[1]
+
+
+def micro_comparison(
+    real: Trace,
+    synthesized: Trace,
+    device_type: DeviceType,
+    *,
+    real_num_ues: Optional[int] = None,
+    syn_num_ues: Optional[int] = None,
+) -> Dict[str, float]:
+    """One Table-5 column: count and sojourn y-distances for a method."""
+    from ..statemachines import lte
+
+    return {
+        "SRV_REQ": count_ydistance(
+            real,
+            synthesized,
+            device_type,
+            EventType.SRV_REQ,
+            real_num_ues=real_num_ues,
+            syn_num_ues=syn_num_ues,
+        ),
+        "S1_CONN_REL": count_ydistance(
+            real,
+            synthesized,
+            device_type,
+            EventType.S1_CONN_REL,
+            real_num_ues=real_num_ues,
+            syn_num_ues=syn_num_ues,
+        ),
+        "CONNECTED": sojourn_ydistance(real, synthesized, device_type, lte.CONNECTED),
+        "IDLE": sojourn_ydistance(real, synthesized, device_type, lte.IDLE),
+    }

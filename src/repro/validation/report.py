@@ -1,0 +1,53 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benchmark harness prints the regenerated paper tables with these
+helpers so every bench emits a uniform, diffable artifact.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    Floats are rendered with sensible precision; everything else via
+    ``str``.
+    """
+    def _cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:+.1%}" if -1.0 <= value <= 1.0 and value != int(value) else f"{value:.3g}"
+        return str(value)
+
+    rendered = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rendered)) if rendered else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_percent(value: float, *, signed: bool = False) -> str:
+    """Render a fraction as the paper's percentage style (one decimal)."""
+    if signed:
+        return f"{value * 100:+.1f}%"
+    return f"{value * 100:.1f}%"
+
+
+def format_ratio(value: float) -> str:
+    """Render an improvement factor ("4.77x")."""
+    return f"{value:.2f}x"

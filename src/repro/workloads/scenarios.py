@@ -1,0 +1,175 @@
+"""Pre-canned workload scenarios for MCN studies.
+
+The generator's purpose is driving core-network evaluations (§3.1);
+these helpers wrap the common experiment setups:
+
+* **busy-hour / full-day workloads** — plain generation at the right
+  hours;
+* **signaling storms** — the paper notes control events also arise from
+  "power outages of base stations": when coverage returns, every
+  affected UE re-attaches nearly at once, producing the ATCH storm that
+  stresses an MME/AMF far beyond steady state.  ``inject_reattach_storm``
+  grafts such a storm onto any trace while keeping every UE's event
+  sequence valid under the two-level machine;
+* **future-year workloads** — population growth scenarios applied
+  before generation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..generator.traffgen import DeviceCounts, TrafficGenerator
+from ..groundtruth.forecast import project_population
+from ..model.model_set import ModelSet
+from ..statemachines import lte
+from ..statemachines.replay import replay_ue
+from ..trace.events import EventType, quantize_timestamp
+from ..trace.trace import Trace
+
+
+def busy_hour_workload(
+    model_set: ModelSet,
+    num_ues: DeviceCounts,
+    *,
+    hour: int = 19,
+    seed: int = 0,
+) -> Trace:
+    """One synthesized busy hour (default: the 19:00 evening peak)."""
+    return TrafficGenerator(model_set).generate(
+        num_ues, start_hour=hour, num_hours=1, seed=seed
+    )
+
+
+def full_day_workload(
+    model_set: ModelSet,
+    num_ues: DeviceCounts,
+    *,
+    start_hour: int = 0,
+    seed: int = 0,
+) -> Trace:
+    """A synthesized 24-hour day (diurnal structure included)."""
+    return TrafficGenerator(model_set).generate(
+        num_ues, start_hour=start_hour, num_hours=24, seed=seed
+    )
+
+
+def future_year_workload(
+    model_set: ModelSet,
+    base_counts: dict,
+    years: int,
+    *,
+    scenario: str = "baseline",
+    hour: int = 19,
+    seed: int = 0,
+) -> Trace:
+    """A busy hour after ``years`` of population growth (§3.1 usage 2)."""
+    projected = project_population(base_counts, years, scenario=scenario)
+    return busy_hour_workload(model_set, projected, hour=hour, seed=seed)
+
+
+def inject_reattach_storm(
+    trace: Trace,
+    *,
+    at: float,
+    fraction: float = 0.3,
+    outage_duration: float = 120.0,
+    reattach_spread: float = 30.0,
+    seed: int = 0,
+) -> Trace:
+    """Graft a coverage-outage re-attach storm onto a trace.
+
+    A random ``fraction`` of the trace's UEs loses coverage at time
+    ``at``: each affected UE's events from ``at`` onward are dropped, a
+    ``DTCH`` (network-observed detach) is recorded at ``at`` for UEs
+    that were registered, and after ``outage_duration`` the UEs
+    re-attach in a wave — one ``ATCH`` each, spread over
+    ``reattach_spread`` seconds.  Every per-UE sequence remains valid
+    under the two-level machine.
+
+    Parameters
+    ----------
+    at:
+        Outage time (seconds from trace start).
+    fraction:
+        Share of UEs affected, in (0, 1].
+    outage_duration:
+        Coverage gap length, seconds.
+    reattach_spread:
+        The re-attach wave's width, seconds — small values make the
+        storm sharper.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    if at < 0 or outage_duration < 0 or reattach_spread < 0:
+        raise ValueError("times must be non-negative")
+    if len(trace) == 0:
+        raise ValueError("cannot inject a storm into an empty trace")
+
+    rng = np.random.default_rng(seed)
+    ues = trace.unique_ues()
+    num_affected = max(1, int(round(fraction * len(ues))))
+    affected = set(
+        int(u) for u in rng.choice(ues, size=num_affected, replace=False)
+    )
+    device_of = trace.device_of()
+
+    ue_col, time_col, event_col, device_col = [], [], [], []
+
+    def _append(ue: int, t: float, event: EventType) -> None:
+        ue_col.append(ue)
+        time_col.append(quantize_timestamp(t))
+        event_col.append(int(event))
+        device_col.append(int(device_of[ue]))
+
+    for ue, sub in trace.per_ue():
+        if ue not in affected:
+            ue_col.extend(sub.ue_ids.tolist())
+            time_col.extend(sub.times.tolist())
+            event_col.extend(sub.event_types.tolist())
+            device_col.extend(sub.device_types.tolist())
+            continue
+        cut = int(np.searchsorted(sub.times, at, side="left"))
+        kept_events = sub.event_types[:cut]
+        kept_times = sub.times[:cut]
+        ue_col.extend([ue] * cut)
+        time_col.extend(kept_times.tolist())
+        event_col.extend(kept_events.tolist())
+        device_col.extend(sub.device_types[:cut].tolist())
+
+        # Was the UE registered when coverage dropped?
+        result = replay_ue(kept_events, kept_times)
+        state = result.final_state
+        registered = state is not None and state != lte.DEREGISTERED
+        if cut == 0:
+            # No events before the outage: assume registered-idle (the
+            # overwhelmingly common steady state).
+            registered = True
+        if registered:
+            _append(ue, at, EventType.DTCH)
+        reattach_at = at + outage_duration + float(
+            rng.uniform(0.0, max(reattach_spread, 1e-3))
+        )
+        _append(ue, reattach_at, EventType.ATCH)
+
+    return Trace(
+        np.asarray(ue_col, dtype=np.int64),
+        np.asarray(time_col, dtype=np.float64),
+        np.asarray(event_col, dtype=np.int8),
+        np.asarray(device_col, dtype=np.int8),
+        validate=False,
+    )
+
+
+def storm_peak_rate(
+    trace: Trace, *, bin_seconds: float = 1.0, event: Optional[EventType] = None
+) -> float:
+    """Peak events-per-second of a trace (for storm magnitude checks)."""
+    from ..validation.aggregate import rate_curve
+
+    curve = rate_curve(trace, bin_seconds=bin_seconds, event_type=event)
+    if curve.size == 0:
+        return 0.0
+    return float(curve.max()) / bin_seconds

@@ -1,0 +1,113 @@
+"""Shared fixtures: small ground-truth traces and fitted model sets.
+
+Expensive artifacts are session-scoped; tests must treat them as
+read-only.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import fit_method
+from repro.generator import TrafficGenerator
+from repro.groundtruth import simulate_ground_truth
+from repro.trace import DeviceType, EventType, Trace
+
+#: Hour-of-day at which the shared traces start.
+TRACE_START_HOUR = 17
+
+
+@pytest.fixture(scope="session")
+def ground_truth_trace() -> Trace:
+    """A 4-hour, ~150-UE ground-truth trace starting in the evening."""
+    return simulate_ground_truth(
+        {
+            DeviceType.PHONE: 90,
+            DeviceType.CONNECTED_CAR: 35,
+            DeviceType.TABLET: 25,
+        },
+        duration=4 * 3600.0,
+        seed=42,
+        start_hour=TRACE_START_HOUR,
+    )
+
+
+@pytest.fixture(scope="session")
+def holdout_trace() -> Trace:
+    """A held-out "real" trace (fresh seed) for validation comparisons."""
+    return simulate_ground_truth(
+        {
+            DeviceType.PHONE: 90,
+            DeviceType.CONNECTED_CAR: 35,
+            DeviceType.TABLET: 25,
+        },
+        duration=2 * 3600.0,
+        seed=123,
+        start_hour=TRACE_START_HOUR + 1,
+    )
+
+
+@pytest.fixture(scope="session")
+def ours_model_set(ground_truth_trace):
+    """The proposed model fitted on the shared ground-truth trace."""
+    return fit_method(
+        "ours",
+        ground_truth_trace,
+        theta_n=25,
+        trace_start_hour=TRACE_START_HOUR,
+    )
+
+
+@pytest.fixture(scope="session")
+def base_model_set(ground_truth_trace):
+    """The Base baseline fitted on the shared ground-truth trace."""
+    return fit_method(
+        "base",
+        ground_truth_trace,
+        trace_start_hour=TRACE_START_HOUR,
+    )
+
+
+@pytest.fixture(scope="session")
+def synthesized_trace(ours_model_set) -> Trace:
+    """One synthesized busy hour from the proposed model."""
+    return TrafficGenerator(ours_model_set).generate(
+        150, start_hour=TRACE_START_HOUR + 1, num_hours=1, seed=7
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+def make_trace(rows):
+    """Build a Trace from (ue, time, event, device) tuples."""
+    return Trace(
+        np.array([r[0] for r in rows], dtype=np.int64),
+        np.array([r[1] for r in rows], dtype=np.float64),
+        np.array([int(r[2]) for r in rows], dtype=np.int8),
+        np.array([int(r[3]) for r in rows], dtype=np.int8),
+    )
+
+
+@pytest.fixture()
+def tiny_trace() -> Trace:
+    """A deliberately small, hand-written valid two-level trace."""
+    P = DeviceType.PHONE
+    E = EventType
+    return make_trace(
+        [
+            (1, 0.5, E.ATCH, P),
+            (1, 10.0, E.HO, P),
+            (1, 12.0, E.TAU, P),
+            (1, 30.0, E.S1_CONN_REL, P),
+            (1, 40.0, E.TAU, P),
+            (1, 41.0, E.S1_CONN_REL, P),
+            (1, 100.0, E.SRV_REQ, P),
+            (1, 130.0, E.DTCH, P),
+            (2, 5.0, E.SRV_REQ, P),
+            (2, 25.0, E.S1_CONN_REL, P),
+            (2, 60.0, E.SRV_REQ, P),
+            (2, 90.0, E.S1_CONN_REL, P),
+        ]
+    )

@@ -1,0 +1,121 @@
+"""Tests for the §4 study pipelines (repro.analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    EMM_ECM_STATES,
+    FIG34_QUANTITIES,
+    TESTS,
+    burstiness_analysis,
+    gof_study,
+    quantity_samples,
+    tail_analysis,
+)
+from repro.trace import DeviceType, EventType
+
+from conftest import TRACE_START_HOUR
+
+P = DeviceType.PHONE
+
+
+class TestGofStudy:
+    def test_structure(self, ground_truth_trace):
+        result = gof_study(
+            ground_truth_trace,
+            P,
+            clustered=False,
+            trace_start_hour=TRACE_START_HOUR,
+        )
+        assert set(result.rates) == set(TESTS)
+        assert result.combos  # at least some testable combinations
+
+    def test_classic_families_mostly_fail(self, ground_truth_trace):
+        """The paper's core negative result (§4.1.2, Tables 8/9)."""
+        result = gof_study(
+            ground_truth_trace,
+            P,
+            clustered=False,
+            trace_start_hour=TRACE_START_HOUR,
+        )
+        # Average pass rate over all testable quantities stays low for
+        # the Poisson model on bursty lognormal-mixture traffic.
+        poisson_rates = list(result.rates["poisson_ks"].values())
+        assert np.mean(poisson_rates) < 0.35
+
+    def test_state_quantities_present(self, ground_truth_trace):
+        result = gof_study(
+            ground_truth_trace,
+            P,
+            clustered=False,
+            trace_start_hour=TRACE_START_HOUR,
+        )
+        assert "CONNECTED" in result.combos
+        assert "IDLE" in result.combos
+
+    def test_transitions_mode(self, ground_truth_trace):
+        result = gof_study(
+            ground_truth_trace,
+            P,
+            clustered=True,
+            theta_n=30,
+            trace_start_hour=TRACE_START_HOUR,
+            quantities="transitions",
+        )
+        # Quantity keys look like "SRV_REQ_S-HO".
+        assert all("-" in q for q in result.combos)
+
+    def test_unknown_quantities_rejected(self, ground_truth_trace):
+        with pytest.raises(ValueError, match="quantities"):
+            gof_study(ground_truth_trace, P, clustered=False, quantities="x")
+
+    def test_empty_device_rejected(self, tiny_trace):
+        with pytest.raises(ValueError, match="no"):
+            gof_study(tiny_trace, DeviceType.TABLET, clustered=False)
+
+
+class TestQuantitySamples:
+    def test_state_quantities(self, ground_truth_trace):
+        durations, entries = quantity_samples(ground_truth_trace, P, "CONNECTED")
+        assert durations.size > 0
+        assert entries.size > 0
+        assert np.all(durations > 0)
+
+    def test_event_quantities(self, ground_truth_trace):
+        durations, arrivals = quantity_samples(ground_truth_trace, P, "HO")
+        assert arrivals.size > 0
+        # inter-arrivals only from UEs with >= 2 HOs.
+        assert durations.size <= arrivals.size
+
+    def test_all_fig34_quantities_defined(self):
+        assert FIG34_QUANTITIES == ("CONNECTED", "IDLE", "HO", "TAU")
+
+
+class TestBurstiness:
+    def test_real_traffic_burstier_than_poisson(self, ground_truth_trace):
+        """Fig. 3: the observed curve sits above the fitted Poisson."""
+        report = burstiness_analysis(ground_truth_trace, P, "CONNECTED", seed=1)
+        # Positive gap at the larger scales.
+        assert report.log_gap[-3:].mean() > 0.0
+
+    def test_too_few_occurrences_rejected(self, tiny_trace):
+        with pytest.raises(ValueError, match="too few"):
+            burstiness_analysis(tiny_trace, P, "HO")
+
+
+class TestTails:
+    def test_observed_max_exceeds_fitted(self, ground_truth_trace):
+        """Fig. 4: heavy upper tails the exponential fit cannot reach."""
+        report = tail_analysis(ground_truth_trace, P, "CONNECTED", seed=2)
+        assert report.observed_max > report.fitted_max
+
+    def test_report_fields_consistent(self, ground_truth_trace):
+        report = tail_analysis(ground_truth_trace, P, "IDLE")
+        assert report.observed_min <= report.observed_max
+        assert report.fitted_min <= report.fitted_max
+        assert report.fitted_rate > 0
+        assert report.upper_tail_ratio > 0
+
+    def test_too_few_samples_rejected(self, tiny_trace):
+        with pytest.raises(ValueError, match="too few"):
+            tail_analysis(tiny_trace, P, "TAU")

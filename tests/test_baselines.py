@@ -1,0 +1,52 @@
+"""Tests for the Base/V1/V2/Ours method builders (Table 3)."""
+
+import pytest
+
+from repro.baselines import METHOD_NAMES, fit_method
+from repro.trace import DeviceType
+
+from conftest import TRACE_START_HOUR
+
+
+class TestMethodMatrix:
+    def test_method_names(self):
+        assert METHOD_NAMES == ("base", "v1", "v2", "ours")
+
+    def test_unknown_method(self, tiny_trace):
+        with pytest.raises(ValueError, match="unknown method"):
+            fit_method("gpt", tiny_trace)
+
+    def test_case_insensitive(self, tiny_trace):
+        ms = fit_method("OURS", tiny_trace, theta_n=5)
+        assert ms.machine_kind == "two_level"
+
+    @pytest.mark.parametrize(
+        "method,machine,family,clustered",
+        [
+            ("base", "emm_ecm", "poisson", False),
+            ("v1", "emm_ecm", "poisson", True),
+            ("v2", "two_level", "poisson", True),
+            ("ours", "two_level", "empirical", True),
+        ],
+    )
+    def test_table3_configuration(
+        self, ground_truth_trace, method, machine, family, clustered
+    ):
+        ms = fit_method(
+            method,
+            ground_truth_trace,
+            theta_n=25,
+            trace_start_hour=TRACE_START_HOUR,
+        )
+        assert ms.machine_kind == machine
+        assert ms.family == family
+        assert ms.clustered == clustered
+
+    def test_clustering_produces_more_models_than_base(
+        self, ground_truth_trace
+    ):
+        base = fit_method("base", ground_truth_trace, trace_start_hour=TRACE_START_HOUR)
+        v1 = fit_method(
+            "v1", ground_truth_trace, theta_n=25, trace_start_hour=TRACE_START_HOUR
+        )
+        assert v1.num_models > base.num_models

@@ -1,0 +1,137 @@
+"""Tests for model validation (repro.model.checks) and anonymization."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential
+from repro.model import (
+    Edge,
+    ModelSet,
+    SemiMarkovChain,
+    StateModel,
+    validate_model_set,
+)
+from repro.trace import DeviceType, EventType, anonymize, remap_ue_ids, shift_epoch
+
+from conftest import make_trace
+
+E = EventType
+P = DeviceType.PHONE
+
+
+class TestValidateModelSet:
+    def test_fitted_model_is_clean(self, ours_model_set):
+        assert validate_model_set(ours_model_set) == []
+
+    def test_baseline_model_is_clean(self, base_model_set):
+        assert validate_model_set(base_model_set) == []
+
+    def test_empty_model_set_flagged(self):
+        ms = ModelSet(
+            machine_kind="two_level",
+            family="empirical",
+            clustered=True,
+            models={},
+            device_ues={},
+            theta_f=5.0,
+            theta_n=1000,
+        )
+        problems = validate_model_set(ms)
+        assert any("no device types" in p for p in problems)
+
+    def test_forbidden_edge_detected(self, ours_model_set):
+        corrupted = ModelSet.from_dict(ours_model_set.to_dict())
+        dt = DeviceType.PHONE
+        hour = corrupted.hours(dt)[0]
+        cluster = corrupted.models[dt][hour].clusters[0]
+        # Inject an HO edge out of DEREGISTERED — illegal in Fig. 5.
+        cluster.chain.states["DEREGISTERED"] = StateModel(
+            edges=(
+                Edge(E.HO, "HO_S", 1.0, Exponential(rate=1.0)),
+            )
+        )
+        problems = validate_model_set(corrupted)
+        assert any("forbidden edge" in p for p in problems)
+
+    def test_bad_probabilities_detected(self, ours_model_set):
+        corrupted = ModelSet.from_dict(ours_model_set.to_dict())
+        dt = DeviceType.PHONE
+        hour = corrupted.hours(dt)[0]
+        cluster = corrupted.models[dt][hour].clusters[0]
+        chain = cluster.chain
+        state, model = next(
+            (s, m) for s, m in chain.states.items() if m.edges
+        )
+        # Bypass StateModel's constructor check to simulate corruption.
+        broken = StateModel.__new__(StateModel)
+        object.__setattr__(
+            broken,
+            "edges",
+            tuple(
+                Edge(e.event, e.target, e.probability * 0.5, e.sojourn)
+                for e in model.edges
+            ),
+        )
+        chain.states[state] = broken
+        problems = validate_model_set(corrupted)
+        assert any("sum to" in p for p in problems)
+
+    def test_wrong_target_detected(self, ours_model_set):
+        corrupted = ModelSet.from_dict(ours_model_set.to_dict())
+        dt = DeviceType.PHONE
+        hour = corrupted.hours(dt)[0]
+        cluster = corrupted.models[dt][hour].clusters[0]
+        cluster.chain.states["DEREGISTERED"] = StateModel(
+            edges=(Edge(E.ATCH, "HO_S", 1.0, Exponential(rate=1.0)),)
+        )
+        problems = validate_model_set(corrupted)
+        assert any("disagrees" in p for p in problems)
+
+
+class TestAnonymize:
+    @pytest.fixture()
+    def sample(self):
+        return make_trace(
+            [
+                (10, 1.0, E.SRV_REQ, P),
+                (10, 5.0, E.S1_CONN_REL, P),
+                (20, 2.0, E.ATCH, DeviceType.TABLET),
+            ]
+        )
+
+    def test_remap_preserves_structure(self, sample):
+        remapped, mapping = remap_ue_ids(sample, seed=1)
+        assert len(remapped) == len(sample)
+        assert set(mapping) == {10, 20}
+        # Per-UE sequences survive intact under the mapping.
+        for old, new in mapping.items():
+            before = sample.ue_trace(old)
+            after = remapped.ue_trace(new)
+            assert np.array_equal(before.times, after.times)
+            assert np.array_equal(before.event_types, after.event_types)
+
+    def test_remap_changes_ids(self, sample):
+        remapped, mapping = remap_ue_ids(sample, seed=1, start_id=1000)
+        assert set(remapped.unique_ues()) == {1000, 1001}
+
+    def test_remap_deterministic(self, sample):
+        a, _ = remap_ue_ids(sample, seed=7)
+        b, _ = remap_ue_ids(sample, seed=7)
+        assert a == b
+
+    def test_shift_preserves_interarrivals(self, sample):
+        shifted = shift_epoch(sample, seed=3)
+        assert np.allclose(np.diff(shifted.times), np.diff(sample.times))
+        assert shifted.times[0] >= sample.times[0]
+
+    def test_shift_rejects_negative(self, sample):
+        with pytest.raises(ValueError):
+            shift_epoch(sample, max_shift=-1.0)
+
+    def test_anonymized_trace_fits_identically(self, ground_truth_trace):
+        """Anonymization is loss-free for modeling (breakdown identical)."""
+        anon = anonymize(ground_truth_trace, seed=5)
+        assert anon.breakdown() == ground_truth_trace.breakdown()
+        assert anon.num_ues == ground_truth_trace.num_ues

@@ -1,0 +1,237 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.model import ModelSet
+from repro.trace import read_npz
+
+
+@pytest.fixture()
+def workspace(tmp_path, ground_truth_trace, ours_model_set):
+    """A tmp dir pre-seeded with a trace and a fitted model."""
+    from repro.trace import write_npz
+
+    trace_path = tmp_path / "real.npz"
+    write_npz(ground_truth_trace, trace_path)
+    model_path = tmp_path / "model.json.gz"
+    ours_model_set.save(model_path)
+    return tmp_path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in (
+            "simulate", "fit", "generate", "inspect", "validate",
+            "scale5g", "gof", "mme", "dot",
+        ):
+            args = parser.parse_args(_minimal_args(command))
+            assert args.command == command
+
+
+def _minimal_args(command):
+    stubs = {
+        "simulate": ["simulate", "--ues", "1", "--out", "x.npz"],
+        "fit": ["fit", "--trace", "x.npz", "--out", "m.json"],
+        "generate": ["generate", "--model", "m.json", "--ues", "1", "--out", "y.npz"],
+        "inspect": ["inspect", "--model", "m.json"],
+        "validate": ["validate", "--real", "a.npz", "--synthesized", "b.npz"],
+        "scale5g": ["scale5g", "--model", "m.json", "--mode", "sa", "--out", "n.json"],
+        "gof": ["gof", "--trace", "x.npz"],
+        "mme": ["mme", "--trace", "x.npz"],
+        "dot": ["dot"],
+    }
+    return stubs[command]
+
+
+class TestSimulate:
+    def test_writes_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.npz"
+        rc = main(
+            [
+                "simulate", "--phones", "5", "--tablets", "2",
+                "--hours", "1", "--seed", "3", "--out", str(out),
+            ]
+        )
+        assert rc == 0
+        trace = read_npz(out)
+        assert trace.num_ues <= 7
+        assert "wrote" in capsys.readouterr().out
+
+    def test_rejects_conflicting_population(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["simulate", "--ues", "5", "--phones", "2",
+                 "--out", str(tmp_path / "t.npz")]
+            )
+
+    def test_rejects_missing_population(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--out", str(tmp_path / "t.npz")])
+
+    def test_rejects_unknown_extension(self, tmp_path):
+        with pytest.raises(SystemExit, match="extension"):
+            main(["simulate", "--ues", "2", "--out", str(tmp_path / "t.parquet")])
+
+
+class TestFitGenerateRoundtrip:
+    def test_fit_then_generate(self, workspace, capsys):
+        model_out = workspace / "fitted.json.gz"
+        rc = main(
+            [
+                "fit", "--trace", str(workspace / "real.npz"),
+                "--method", "ours", "--theta-n", "25",
+                "--start-hour", "17", "--out", str(model_out),
+            ]
+        )
+        assert rc == 0
+        assert ModelSet.load(model_out).machine_kind == "two_level"
+
+        trace_out = workspace / "syn.npz"
+        rc = main(
+            [
+                "generate", "--model", str(model_out), "--ues", "30",
+                "--start-hour", "18", "--out", str(trace_out),
+            ]
+        )
+        assert rc == 0
+        assert len(read_npz(trace_out)) > 0
+
+    def test_generate_parallel_flag(self, workspace):
+        trace_out = workspace / "syn_par.npz"
+        rc = main(
+            [
+                "generate", "--model", str(workspace / "model.json.gz"),
+                "--ues", "20", "--start-hour", "18",
+                "--processes", "2", "--out", str(trace_out),
+            ]
+        )
+        assert rc == 0
+        serial_out = workspace / "syn_ser.npz"
+        main(
+            [
+                "generate", "--model", str(workspace / "model.json.gz"),
+                "--ues", "20", "--start-hour", "18",
+                "--out", str(serial_out),
+            ]
+        )
+        assert read_npz(trace_out) == read_npz(serial_out)
+
+
+class TestOtherCommands:
+    def test_inspect(self, workspace, capsys):
+        rc = main(["inspect", "--model", str(workspace / "model.json.gz")])
+        assert rc == 0
+        assert "predicted events/UE-hour" in capsys.readouterr().out
+
+    def test_validate(self, workspace, capsys):
+        syn = workspace / "syn.npz"
+        main(
+            ["generate", "--model", str(workspace / "model.json.gz"),
+             "--ues", "100", "--start-hour", "18", "--out", str(syn)]
+        )
+        capsys.readouterr()
+        rc = main(
+            ["validate", "--real", str(workspace / "real.npz"),
+             "--synthesized", str(syn)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Breakdown - PHONE" in out
+
+    def test_scale5g(self, workspace, capsys):
+        out = workspace / "sa.json.gz"
+        rc = main(
+            ["scale5g", "--model", str(workspace / "model.json.gz"),
+             "--mode", "sa", "--out", str(out)]
+        )
+        assert rc == 0
+        assert ModelSet.load(out).machine_kind == "nr_sa"
+
+    def test_gof(self, workspace, capsys):
+        rc = main(
+            ["gof", "--trace", str(workspace / "real.npz"),
+             "--device", "phone", "--start-hour", "17"]
+        )
+        assert rc == 0
+        assert "GoF pass rates" in capsys.readouterr().out
+
+    def test_mme(self, workspace, capsys):
+        rc = main(["mme", "--trace", str(workspace / "real.npz"), "--workers", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "protocol violations" in out
+        assert "utilization" in out
+
+    def test_dot(self, capsys):
+        rc = main(["dot", "--machine", "two_level"])
+        assert rc == 0
+        assert capsys.readouterr().out.startswith('digraph "LTE-two-level"')
+
+
+class TestExtendedCommands:
+    def test_core(self, workspace, capsys):
+        rc = main(
+            ["core", "--trace", str(workspace / "real.npz"),
+             "--core", "epc", "--workers", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bottleneck" in out
+        assert "MME" in out
+
+    def test_core_5gc(self, workspace, capsys):
+        rc = main(
+            ["core", "--trace", str(workspace / "real.npz"), "--core", "5gc"]
+        )
+        assert rc == 0
+        assert "AMF" in capsys.readouterr().out
+
+    def test_sessions(self, workspace, capsys):
+        rc = main(["sessions", "--trace", str(workspace / "real.npz")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sessions" in out
+        assert "PHONE" in out
+
+    def test_hurst(self, workspace, capsys):
+        rc = main(["hurst", "--trace", str(workspace / "real.npz")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "variance-time" in out
+        assert "verdict" in out
+
+    def test_check_clean_model(self, workspace, capsys):
+        rc = main(["check", "--model", str(workspace / "model.json.gz")])
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_anonymize(self, workspace, capsys):
+        out = workspace / "anon.npz"
+        rc = main(
+            ["anonymize", "--trace", str(workspace / "real.npz"),
+             "--seed", "4", "--out", str(out)]
+        )
+        assert rc == 0
+        original = read_npz(workspace / "real.npz")
+        anon = read_npz(out)
+        assert len(anon) == len(original)
+        assert anon != original  # ids and epoch moved
+
+    def test_evaluate(self, workspace, capsys):
+        rc = main(
+            ["evaluate", "--train", str(workspace / "real.npz"),
+             "--real", str(workspace / "real.npz"),
+             "--methods", "ours", "--theta-n", "25",
+             "--train-start-hour", "17", "--hour", "17", "--ues", "40"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Macroscopic breakdown" in out
+        assert "winner" in out

@@ -1,0 +1,154 @@
+"""Tests for adaptive clustering (repro.clustering)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    DEFAULT_THETA_F,
+    DEFAULT_THETA_N,
+    FEATURE_NAMES,
+    NUM_FEATURES,
+    adaptive_cluster,
+    extract_features,
+    single_cluster,
+    ue_features,
+)
+from repro.trace import DeviceType, EventType
+
+from conftest import make_trace
+
+E = EventType
+P = DeviceType.PHONE
+
+
+class TestFeatures:
+    def test_four_features(self):
+        assert NUM_FEATURES == 4
+        assert FEATURE_NAMES == (
+            "srv_req_count",
+            "s1_conn_rel_count",
+            "connected_sojourn_std",
+            "idle_sojourn_std",
+        )
+
+    def test_counts(self):
+        events = np.array([int(E.SRV_REQ), int(E.S1_CONN_REL), int(E.SRV_REQ)])
+        times = np.array([1.0, 5.0, 10.0])
+        f = ue_features(events, times)
+        assert f[0] == 2.0  # SRV_REQ count
+        assert f[1] == 1.0  # S1_CONN_REL count
+
+    def test_sojourn_std_zero_with_single_visit(self):
+        events = np.array([int(E.SRV_REQ), int(E.S1_CONN_REL)])
+        times = np.array([1.0, 5.0])
+        f = ue_features(events, times)
+        assert f[2] == 0.0
+        assert f[3] == 0.0
+
+    def test_sojourn_std_from_multiple_visits(self):
+        # Two CONNECTED visits of durations 4 and 10 -> std 3.
+        events = np.array(
+            [
+                int(E.SRV_REQ), int(E.S1_CONN_REL),
+                int(E.SRV_REQ), int(E.S1_CONN_REL),
+                int(E.SRV_REQ), int(E.S1_CONN_REL),
+            ]
+        )
+        times = np.array([0.0, 4.0, 10.0, 20.0, 30.0, 31.0])
+        f = ue_features(events, times)
+        connected = np.array([4.0, 10.0, 1.0])
+        assert f[2] == pytest.approx(connected.std())
+
+    def test_extract_features_all_ues(self, tiny_trace):
+        feats = extract_features(tiny_trace)
+        assert set(feats) == {1, 2}
+        assert all(v.shape == (4,) for v in feats.values())
+
+
+class TestAdaptiveCluster:
+    def test_defaults_match_paper(self):
+        assert DEFAULT_THETA_F == 5.0
+        assert DEFAULT_THETA_N == 1000
+
+    def test_empty_input(self):
+        result = adaptive_cluster({})
+        assert result.num_clusters == 0
+
+    def test_partition_is_exact(self, rng):
+        features = {i: rng.uniform(0, 50, 4) for i in range(300)}
+        result = adaptive_cluster(features, theta_n=20)
+        covered = sorted(
+            ue for c in result.clusters for ue in c.ue_ids
+        )
+        assert covered == sorted(features)
+        # Every UE is assigned to exactly one cluster.
+        assert set(result.assignment) == set(features)
+
+    def test_similar_ues_stay_together(self, rng):
+        features = {i: np.full(4, 10.0) + rng.uniform(0, 1, 4) for i in range(100)}
+        result = adaptive_cluster(features, theta_f=5.0, theta_n=10)
+        assert result.num_clusters == 1
+
+    def test_dissimilar_ues_split(self, rng):
+        features = {}
+        for i in range(50):
+            features[i] = rng.uniform(0, 1, 4)
+        for i in range(50, 100):
+            features[i] = rng.uniform(100, 101, 4)
+        result = adaptive_cluster(features, theta_f=5.0, theta_n=5)
+        assert result.num_clusters >= 2
+        # The two groups never share a cluster.
+        low = {result.assignment[i] for i in range(50)}
+        high = {result.assignment[i] for i in range(50, 100)}
+        assert low.isdisjoint(high)
+
+    def test_small_cluster_not_split(self, rng):
+        features = {i: rng.uniform(0, 1000, 4) for i in range(30)}
+        result = adaptive_cluster(features, theta_n=1000)
+        assert result.num_clusters == 1
+
+    def test_theta_f_controls_granularity(self, rng):
+        features = {i: rng.uniform(0, 100, 4) for i in range(400)}
+        coarse = adaptive_cluster(features, theta_f=200.0, theta_n=10)
+        fine = adaptive_cluster(features, theta_f=2.0, theta_n=10)
+        assert fine.num_clusters > coarse.num_clusters
+
+    def test_weights_sum_to_one(self, rng):
+        features = {i: rng.uniform(0, 100, 4) for i in range(200)}
+        result = adaptive_cluster(features, theta_n=20)
+        assert result.weights().sum() == pytest.approx(1.0)
+
+    def test_cluster_of(self, rng):
+        features = {i: rng.uniform(0, 100, 4) for i in range(100)}
+        result = adaptive_cluster(features, theta_n=10)
+        for ue in features:
+            cluster = result.cluster_of(ue)
+            assert ue in cluster.ue_ids
+
+    def test_identical_points_terminate(self):
+        features = {i: np.full(4, 7.0) for i in range(100)}
+        result = adaptive_cluster(features, theta_f=0.0, theta_n=1)
+        assert result.num_clusters == 1
+
+    def test_two_dimensional_quadtree(self, rng):
+        """With 2 features the scheme is literally a quadtree."""
+        features = {i: rng.uniform(0, 100, 2) for i in range(500)}
+        result = adaptive_cluster(features, theta_f=10.0, theta_n=5)
+        assert result.num_clusters > 4
+
+    def test_cluster_bounds_contain_members(self, rng):
+        features = {i: rng.uniform(0, 100, 4) for i in range(300)}
+        result = adaptive_cluster(features, theta_n=20)
+        for cluster in result.clusters:
+            for ue in cluster.ue_ids:
+                f = features[ue]
+                assert np.all(f >= cluster.lower - 1e-9)
+                assert np.all(f <= cluster.upper + 1e-9)
+
+
+class TestSingleCluster:
+    def test_one_cluster_everything(self):
+        result = single_cluster([3, 1, 2], 4)
+        assert result.num_clusters == 1
+        assert result.clusters[0].ue_ids == (1, 2, 3)
+        assert result.assignment == {1: 0, 2: 0, 3: 0}

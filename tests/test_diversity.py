@@ -1,0 +1,65 @@
+"""Tests for diversity quantification (repro.analysis.diversity)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    DOMINANT_FIG2_EVENTS,
+    diversity_report,
+    diversity_table,
+    justifies_clustering,
+)
+from repro.analysis.diversity import _gini
+from repro.trace import DeviceType, EventType
+
+from conftest import make_trace
+
+E = EventType
+P = DeviceType.PHONE
+
+
+class TestGini:
+    def test_equal_values_zero(self):
+        assert _gini(np.array([5.0, 5.0, 5.0, 5.0])) == pytest.approx(0.0, abs=1e-9)
+
+    def test_extreme_inequality(self):
+        g = _gini(np.array([0.0] * 99 + [100.0]))
+        assert g > 0.9
+
+    def test_empty(self):
+        assert _gini(np.array([])) == 0.0
+
+    def test_bounded(self):
+        rng = np.random.default_rng(1)
+        g = _gini(rng.lognormal(0, 2, 500))
+        assert 0.0 <= g <= 1.0
+
+
+class TestDiversityReport:
+    def test_spread_computed(self):
+        # Hour 0: UE1 has 3 events, UE2 has 0 -> spread 3.
+        rows = [(1, float(i), E.SRV_REQ, P) for i in range(3)]
+        rows.append((2, 100.0, E.TAU, P))
+        report = diversity_report(make_trace(rows), P, E.SRV_REQ)
+        assert report.max_spread == 3
+
+    def test_ground_truth_diversity(self, ground_truth_trace):
+        report = diversity_report(ground_truth_trace, P, E.SRV_REQ)
+        assert report.peak_to_trough > 1.0
+        assert report.max_spread > 5  # the clustering premise
+        assert 0.2 < report.gini < 1.0  # strong cross-UE skew
+
+    def test_table_covers_devices_and_events(self, ground_truth_trace):
+        table = diversity_table(ground_truth_trace)
+        assert len(table) == 3 * len(DOMINANT_FIG2_EVENTS)
+
+    def test_justifies_clustering_on_ground_truth(self, ground_truth_trace):
+        for dt in DeviceType:
+            assert justifies_clustering(ground_truth_trace, dt)
+
+    def test_uniform_traffic_does_not_justify_clustering(self):
+        # Every UE exactly one event: spread 1 < theta_f.
+        rows = [(u, float(u), E.SRV_REQ, P) for u in range(20)]
+        assert not justifies_clustering(make_trace(rows), P)

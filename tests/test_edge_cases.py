@@ -1,0 +1,164 @@
+"""Cross-cutting edge cases not covered by the per-module suites."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import EmpiricalCDF, Exponential
+from repro.model import Edge, SemiMarkovChain, StateModel
+from repro.statemachines import two_level_machine
+from repro.trace import DeviceType, EventType, Trace, quantize_timestamp
+
+from conftest import TRACE_START_HOUR, make_trace
+
+E = EventType
+P = DeviceType.PHONE
+
+
+class TestTraceBoundaries:
+    def test_window_of_width_zero(self, tiny_trace):
+        assert len(tiny_trace.window(5.0, 5.0)) == 0
+
+    def test_window_beyond_trace(self, tiny_trace):
+        assert len(tiny_trace.window(10_000.0, 20_000.0)) == 0
+
+    def test_filter_ues_with_duplicates(self, tiny_trace):
+        a = tiny_trace.filter_ues([1, 1, 1])
+        b = tiny_trace.filter_ues([1])
+        assert a == b
+
+    def test_filter_ues_empty_set(self, tiny_trace):
+        assert len(tiny_trace.filter_ues([])) == 0
+
+    def test_same_millisecond_events_keep_per_ue_order(self):
+        # Two events of one UE on the same quantized millisecond must
+        # remain in their original relative order after construction.
+        t = quantize_timestamp(10.0001)
+        tr = make_trace(
+            [(1, t, E.SRV_REQ, P), (1, t, E.S1_CONN_REL, P)]
+        )
+        assert [int(e) for e in tr.event_types] == [
+            int(E.SRV_REQ),
+            int(E.S1_CONN_REL),
+        ]
+
+    def test_shift_negative_offset_hits_validation(self, tiny_trace):
+        with pytest.raises(ValueError, match="negative"):
+            tiny_trace.shift(-10_000.0)
+
+
+class TestDistributionBoundaries:
+    def test_exponential_ppf_at_one_is_infinite(self):
+        dist = Exponential(rate=1.0)
+        assert dist.ppf(np.array([1.0]))[0] == math.inf
+
+    def test_exponential_ppf_at_zero(self):
+        dist = Exponential(rate=2.0)
+        assert dist.ppf(np.array([0.0]))[0] == 0.0
+
+    def test_empirical_two_points_interpolates_between(self):
+        dist = EmpiricalCDF([10.0, 20.0])
+        mid = dist.ppf(np.array([0.5]))[0]
+        assert 10.0 <= mid <= 20.0
+
+    def test_empirical_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            EmpiricalCDF([-1.0, 2.0])
+
+    def test_empirical_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            EmpiricalCDF([1.0, float("nan")])
+
+
+class TestChainBoundaries:
+    def test_single_edge_state_is_deterministic_in_choice(self, rng):
+        chain = SemiMarkovChain(
+            {
+                "A": StateModel(
+                    edges=(Edge(E.HO, "A", 1.0, Exponential(rate=1.0)),)
+                )
+            }
+        )
+        # Only the sojourn draw consumes randomness; the edge pick must
+        # not (single-edge fast path).
+        _, event, target = chain.step("A", rng)
+        assert event == E.HO
+        assert target == "A"
+
+    def test_machine_walk_from_every_registered_leaf_to_dtch(self):
+        machine = two_level_machine()
+        for state in machine.states - {"DEREGISTERED"}:
+            assert machine.next_state(state, E.DTCH) == "DEREGISTERED"
+
+
+class TestModelSetBoundaries:
+    def test_hour_model_wraps_mod_24(self, ours_model_set):
+        hour = ours_model_set.hours(P)[0]
+        direct = ours_model_set.hour_model(P, hour)
+        wrapped = ours_model_set.hour_model(P, hour + 24)
+        assert direct is wrapped
+
+    def test_hour_model_missing_hour_is_none(self, ours_model_set):
+        assert ours_model_set.hour_model(P, 3) is None
+
+    def test_generation_is_order_independent(self, ours_model_set):
+        """Per-UE substreams: generating more UEs never changes the
+        events of the UEs already generated."""
+        from repro.generator import TrafficGenerator
+
+        gen = TrafficGenerator(ours_model_set)
+        small = gen.generate(
+            {P: 10}, start_hour=TRACE_START_HOUR, seed=6
+        )
+        large = gen.generate(
+            {P: 30}, start_hour=TRACE_START_HOUR, seed=6
+        )
+        for ue in small.unique_ues():
+            assert small.ue_trace(int(ue)) == large.ue_trace(int(ue))
+
+
+class TestValidationBoundaries:
+    def test_breakdown_difference_of_trace_with_itself(self, tiny_trace):
+        from repro.validation import breakdown_difference
+
+        diff = breakdown_difference(tiny_trace, tiny_trace, P)
+        assert all(v == 0.0 for v in diff.values())
+
+    def test_max_y_distance_single_samples(self):
+        from repro.stats import max_y_distance
+
+        assert max_y_distance([1.0], [1.0]) == 0.0
+        assert max_y_distance([1.0], [2.0]) == 1.0
+
+    def test_format_table_no_rows(self):
+        from repro.validation import format_table
+
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestMcnBoundaries:
+    def test_mme_single_event(self):
+        from repro.mcn import MmeSimulator
+
+        tr = make_trace([(1, 5.0, E.ATCH, P)])
+        report = MmeSimulator().process(tr)
+        assert report.num_events == 1
+        assert report.mean_wait == 0.0
+
+    def test_core_single_event(self):
+        from repro.mcn import CoreNetworkSimulator
+
+        tr = make_trace([(1, 5.0, E.ATCH, P)])
+        report = CoreNetworkSimulator(seed=0).process(tr)
+        assert report.procedures["attach"].count == 1
+
+    def test_mme_zero_jitter_deterministic_service(self):
+        from repro.mcn import DEFAULT_SERVICE_MEANS, MmeSimulator
+
+        tr = make_trace([(1, 5.0, E.SRV_REQ, P)])
+        report = MmeSimulator(num_workers=1, service_jitter=0.0).process(tr)
+        assert report.mean_latency == pytest.approx(
+            DEFAULT_SERVICE_MEANS[E.SRV_REQ]
+        )

@@ -1,0 +1,74 @@
+"""Tests for 5G mapping and trace views (repro.fiveg)."""
+
+import numpy as np
+import pytest
+
+from repro.fiveg import (
+    event_label,
+    nr_event_name,
+    nsa_breakdown,
+    sa_breakdown,
+    to_sa_trace,
+)
+from repro.trace import DeviceType, EventType
+
+from conftest import make_trace
+
+E = EventType
+P = DeviceType.PHONE
+
+
+class TestEventNames:
+    def test_table2_mapping(self):
+        assert nr_event_name(E.ATCH) == "REGISTER"
+        assert nr_event_name(E.DTCH) == "DEREGISTER"
+        assert nr_event_name(E.SRV_REQ) == "SRV_REQ"
+        assert nr_event_name(E.S1_CONN_REL) == "AN_REL"
+        assert nr_event_name(E.HO) == "HO"
+
+    def test_tau_has_no_nr_name(self):
+        with pytest.raises(KeyError):
+            nr_event_name(E.TAU)
+
+    def test_event_label_lte_and_nsa(self):
+        assert event_label(E.S1_CONN_REL, generation="lte") == "S1_CONN_REL"
+        assert event_label(E.S1_CONN_REL, generation="nsa") == "S1_CONN_REL"
+
+    def test_event_label_sa(self):
+        assert event_label(E.S1_CONN_REL, generation="sa") == "AN_REL"
+
+    def test_event_label_unknown_generation(self):
+        with pytest.raises(ValueError):
+            event_label(E.HO, generation="6g")
+
+
+class TestSaTrace:
+    def test_tau_removed(self):
+        tr = make_trace(
+            [(1, 1.0, E.SRV_REQ, P), (1, 2.0, E.TAU, P), (1, 3.0, E.HO, P)]
+        )
+        sa = to_sa_trace(tr)
+        assert len(sa) == 2
+        assert not np.any(sa.event_types == int(E.TAU))
+
+    def test_other_events_preserved(self, ground_truth_trace):
+        sa = to_sa_trace(ground_truth_trace)
+        n_tau = int(np.count_nonzero(ground_truth_trace.event_types == int(E.TAU)))
+        assert len(sa) == len(ground_truth_trace) - n_tau
+
+
+class TestBreakdowns:
+    def test_sa_breakdown_uses_nr_names(self, ground_truth_trace):
+        bd = sa_breakdown(ground_truth_trace, P)
+        assert set(bd) == {"REGISTER", "DEREGISTER", "SRV_REQ", "AN_REL", "HO"}
+        assert sum(bd.values()) == pytest.approx(1.0)
+
+    def test_nsa_breakdown_keeps_tau(self, ground_truth_trace):
+        bd = nsa_breakdown(ground_truth_trace, P)
+        assert "TAU" in bd
+        assert sum(bd.values()) == pytest.approx(1.0)
+
+    def test_empty_device(self):
+        tr = make_trace([(1, 1.0, E.HO, P)])
+        bd = sa_breakdown(tr, DeviceType.TABLET)
+        assert all(v == 0.0 for v in bd.values())

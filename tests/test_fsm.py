@@ -1,0 +1,136 @@
+"""Tests for the generic FSM framework (repro.statemachines.fsm)."""
+
+import pytest
+
+from repro.statemachines import (
+    HierarchicalStateMachine,
+    InvalidTransitionError,
+    StateMachine,
+    Transition,
+)
+from repro.trace import EventType
+
+E = EventType
+
+
+@pytest.fixture()
+def toy():
+    return StateMachine(
+        "toy",
+        [
+            Transition("A", E.ATCH, "B"),
+            Transition("B", E.DTCH, "A"),
+            Transition("B", E.HO, "B"),
+        ],
+        initial_state="A",
+    )
+
+
+class TestStateMachine:
+    def test_states_collected(self, toy):
+        assert toy.states == {"A", "B"}
+
+    def test_next_state(self, toy):
+        assert toy.next_state("A", E.ATCH) == "B"
+        assert toy.next_state("B", E.HO) == "B"
+
+    def test_invalid_transition_raises(self, toy):
+        with pytest.raises(InvalidTransitionError) as exc:
+            toy.next_state("A", E.HO)
+        assert exc.value.state == "A"
+        assert exc.value.event == E.HO
+
+    def test_can_fire(self, toy):
+        assert toy.can_fire("A", E.ATCH)
+        assert not toy.can_fire("A", E.DTCH)
+
+    def test_events_from_sorted(self, toy):
+        assert toy.events_from("B") == [E.DTCH, E.HO]
+
+    def test_successors(self, toy):
+        assert toy.successors("B") == [(E.DTCH, "A"), (E.HO, "B")]
+
+    def test_walk_includes_start(self, toy):
+        path = toy.walk([E.ATCH, E.HO, E.DTCH])
+        assert path == ["A", "B", "B", "A"]
+
+    def test_walk_custom_start(self, toy):
+        assert toy.walk([E.DTCH], start="B") == ["B", "A"]
+
+    def test_accepts(self, toy):
+        assert toy.accepts([E.ATCH, E.DTCH])
+        assert not toy.accepts([E.DTCH])
+
+    def test_reachable_states(self, toy):
+        assert toy.reachable_states() == {"A", "B"}
+
+    def test_conflicting_transition_rejected(self):
+        with pytest.raises(ValueError, match="conflicting"):
+            StateMachine(
+                "bad",
+                [
+                    Transition("A", E.ATCH, "B"),
+                    Transition("A", E.ATCH, "C"),
+                ],
+                initial_state="A",
+            )
+
+    def test_duplicate_identical_transition_allowed(self):
+        machine = StateMachine(
+            "dup",
+            [Transition("A", E.ATCH, "B"), Transition("A", E.ATCH, "B")],
+            initial_state="A",
+        )
+        assert len(machine.transitions()) == 1
+
+    def test_unknown_initial_state_rejected(self):
+        # An initial state that appears in no transition is still valid
+        # (it is added to the state set), so the error case is a machine
+        # built purely from its own initial state.
+        machine = StateMachine("lonely", [], initial_state="X")
+        assert machine.states == {"X"}
+
+    def test_transitions_stable_order(self, toy):
+        tr = toy.transitions()
+        assert tr == sorted(tr, key=lambda t: (t.source, int(t.event)))
+
+    def test_repr(self, toy):
+        assert "toy" in repr(toy)
+
+
+class TestHierarchicalStateMachine:
+    @pytest.fixture()
+    def hierarchy(self):
+        return HierarchicalStateMachine(
+            "h",
+            [
+                Transition("off", E.ATCH, "on_a"),
+                Transition("on_a", E.HO, "on_b"),
+                Transition("on_b", E.DTCH, "off"),
+            ],
+            initial_state="off",
+            parent_of={"off": "OFF", "on_a": "ON", "on_b": "ON"},
+        )
+
+    def test_parent(self, hierarchy):
+        assert hierarchy.parent("on_a") == "ON"
+        assert hierarchy.parent("off") == "OFF"
+
+    def test_leaves_of(self, hierarchy):
+        assert hierarchy.leaves_of("ON") == {"on_a", "on_b"}
+
+    def test_top_states(self, hierarchy):
+        assert hierarchy.top_states == {"OFF", "ON"}
+
+    def test_is_top_level_change(self, hierarchy):
+        assert hierarchy.is_top_level_change("off", "on_a")
+        assert not hierarchy.is_top_level_change("on_a", "on_b")
+
+    def test_missing_parent_rejected(self):
+        with pytest.raises(ValueError, match="without a parent"):
+            HierarchicalStateMachine(
+                "bad",
+                [Transition("a", E.ATCH, "b")],
+                initial_state="a",
+                parent_of={"a": "A"},
+            )

@@ -1,0 +1,149 @@
+"""Tests for the traffic generator (repro.generator)."""
+
+import numpy as np
+import pytest
+
+from repro.generator import TrafficGenerator, generate_ue_events
+from repro.model import ModelSet
+from repro.statemachines import replay_trace
+from repro.trace import DeviceType, EventType, Trace
+
+from conftest import TRACE_START_HOUR
+
+E = EventType
+P = DeviceType.PHONE
+
+
+class TestResolveCounts:
+    def test_total_split_follows_training_mix(self, ours_model_set):
+        gen = TrafficGenerator(ours_model_set)
+        counts = gen.resolve_counts(150)
+        assert sum(counts.values()) == 150
+        # Training mix was ~90/35/25 (UEs that never emitted an event
+        # are invisible to the fitter, so allow small drift).
+        assert abs(counts[P] - 90) <= 2
+        assert abs(counts[DeviceType.CONNECTED_CAR] - 35) <= 2
+        assert abs(counts[DeviceType.TABLET] - 25) <= 2
+
+    def test_explicit_mapping(self, ours_model_set):
+        gen = TrafficGenerator(ours_model_set)
+        counts = gen.resolve_counts({P: 7})
+        assert counts == {P: 7}
+
+    def test_rejects_nonpositive(self, ours_model_set):
+        with pytest.raises(ValueError):
+            TrafficGenerator(ours_model_set).resolve_counts(0)
+
+    def test_rejects_unfitted_device(self, ground_truth_trace):
+        from repro.model import fit_model_set
+
+        phones_only = ground_truth_trace.filter_device(P)
+        ms = fit_model_set(phones_only, trace_start_hour=TRACE_START_HOUR, theta_n=25)
+        gen = TrafficGenerator(ms)
+        with pytest.raises(ValueError, match="device type"):
+            gen.resolve_counts({DeviceType.TABLET: 5})
+
+
+class TestGenerate:
+    def test_reproducible(self, ours_model_set):
+        gen = TrafficGenerator(ours_model_set)
+        a = gen.generate(50, start_hour=18, seed=11)
+        b = gen.generate(50, start_hour=18, seed=11)
+        assert a == b
+
+    def test_seed_matters(self, ours_model_set):
+        gen = TrafficGenerator(ours_model_set)
+        assert gen.generate(50, start_hour=18, seed=1) != gen.generate(
+            50, start_hour=18, seed=2
+        )
+
+    def test_ue_ids_contiguous_from_first(self, ours_model_set):
+        gen = TrafficGenerator(ours_model_set)
+        tr = gen.generate(40, start_hour=18, seed=3, first_ue_id=100)
+        assert tr.unique_ues().min() >= 100
+        assert tr.unique_ues().max() < 140
+
+    def test_times_within_horizon(self, ours_model_set):
+        gen = TrafficGenerator(ours_model_set)
+        tr = gen.generate(40, start_hour=18, num_hours=2, seed=3)
+        assert tr.times.max() < 2 * 3600.0
+        assert tr.times.min() >= 0.0
+
+    def test_multi_hour_generation(self, ours_model_set):
+        gen = TrafficGenerator(ours_model_set)
+        tr = gen.generate(60, start_hour=TRACE_START_HOUR, num_hours=3, seed=5)
+        hours_with_events = set((tr.times // 3600).astype(int).tolist())
+        assert len(hours_with_events) >= 2
+
+    def test_output_respects_state_machine(self, ours_model_set):
+        gen = TrafficGenerator(ours_model_set)
+        tr = gen.generate(80, start_hour=18, seed=7)
+        results = replay_trace(tr)
+        assert sum(r.violations for r in results.values()) == 0
+
+    def test_scales_beyond_training_population(self, ours_model_set):
+        """Design goal 3 (scalability): 4x the training population."""
+        gen = TrafficGenerator(ours_model_set)
+        tr = gen.generate(600, start_hour=18, seed=3)
+        assert tr.num_ues > 300
+
+    def test_every_event_labeled_with_owner(self, ours_model_set):
+        """Design goal 2 (event-owner labeling)."""
+        gen = TrafficGenerator(ours_model_set)
+        tr = gen.generate(50, start_hour=18, seed=3)
+        assert np.all(tr.ue_ids >= 0)
+        # Device type is constant per UE.
+        for _, sub in tr.per_ue():
+            assert len(set(sub.device_types.tolist())) == 1
+
+    def test_generate_hour_convenience(self, ours_model_set):
+        gen = TrafficGenerator(ours_model_set)
+        a = gen.generate_hour(30, 18, seed=4)
+        b = gen.generate(30, start_hour=18, num_hours=1, seed=4)
+        assert a == b
+
+    def test_unfitted_hour_yields_silence(self, ours_model_set):
+        gen = TrafficGenerator(ours_model_set)
+        # Hour 3 (night) was never fitted from the 4-hour evening trace.
+        tr = gen.generate(30, start_hour=3, num_hours=1, seed=4)
+        assert len(tr) == 0
+
+    def test_empty_result_is_trace(self, ours_model_set):
+        gen = TrafficGenerator(ours_model_set)
+        tr = gen.generate(5, start_hour=3, seed=4)
+        assert isinstance(tr, Trace)
+
+    def test_rejects_model_set_without_models(self):
+        empty = ModelSet(
+            machine_kind="two_level",
+            family="empirical",
+            clustered=True,
+            models={},
+            device_ues={},
+            theta_f=5.0,
+            theta_n=1000,
+        )
+        with pytest.raises(ValueError, match="no fitted models"):
+            TrafficGenerator(empty)
+
+
+class TestGenerateUeEvents:
+    def test_rejects_bad_hours(self, ours_model_set, rng):
+        with pytest.raises(ValueError):
+            generate_ue_events(
+                ours_model_set, P, 0, start_hour=18, num_hours=0, rng=rng
+            )
+
+    def test_chronological_per_hour(self, ours_model_set, rng):
+        persona = ours_model_set.device_ues[P][0]
+        times, events = generate_ue_events(
+            ours_model_set, P, persona, start_hour=18, num_hours=2, rng=rng
+        )
+        assert len(times) == len(events)
+
+    def test_base_overlay_produces_category2(self, base_model_set):
+        """Base has no HO/TAU edges but must still emit them (overlay)."""
+        gen = TrafficGenerator(base_model_set)
+        tr = gen.generate(80, start_hour=18, seed=6)
+        assert np.any(tr.event_types == int(E.HO))
+        assert np.any(tr.event_types == int(E.TAU))

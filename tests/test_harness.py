@@ -1,0 +1,81 @@
+"""Tests for the evaluation harness (repro.harness)."""
+
+import pytest
+
+from repro.harness import DEFAULT_METHODS, evaluate_methods
+from repro.trace import DeviceType
+
+from conftest import TRACE_START_HOUR
+
+
+@pytest.fixture(scope="module")
+def report(request):
+    ground_truth = request.getfixturevalue("ground_truth_trace")
+    holdout = request.getfixturevalue("holdout_trace")
+    return evaluate_methods(
+        ground_truth,
+        holdout,
+        methods=("base", "ours"),
+        theta_n=25,
+        trace_start_hour=TRACE_START_HOUR,
+        generation_hour=TRACE_START_HOUR + 1,
+        seed=5,
+    )
+
+
+class TestEvaluateMethods:
+    def test_default_methods(self):
+        assert DEFAULT_METHODS == ("base", "v1", "v2", "ours")
+
+    def test_results_per_method(self, report):
+        assert set(report.results) == {"base", "ours"}
+        for result in report.results.values():
+            assert len(result.synthesized) > 0
+            assert result.macro_max_error
+
+    def test_population_defaults_to_real(self, report, holdout_trace):
+        assert report.num_ues == holdout_trace.num_ues
+
+    def test_ours_wins_phones(self, report):
+        assert report.winner(DeviceType.PHONE) == "ours"
+
+    def test_macro_diffs_cover_rows(self, report):
+        from repro.validation import BREAKDOWN_ROWS
+
+        diff = report.results["ours"].macro_diff[DeviceType.PHONE]
+        assert set(diff) == set(BREAKDOWN_ROWS)
+
+    def test_micro_metrics_present(self, report):
+        micro = report.results["ours"].micro[DeviceType.PHONE]
+        assert "CONNECTED" in micro
+        assert 0.0 <= micro["CONNECTED"] <= 1.0
+
+    def test_to_text_renders_all_devices(self, report):
+        text = report.to_text()
+        assert "Macroscopic breakdown - PHONE" in text
+        assert "Microscopic max y-distance - PHONE" in text
+        assert "Ours" in text
+
+    def test_prefitted_models_reused(
+        self, ground_truth_trace, holdout_trace, ours_model_set
+    ):
+        report = evaluate_methods(
+            ground_truth_trace,
+            holdout_trace,
+            methods=("ours",),
+            models={"ours": ours_model_set},
+            generation_hour=TRACE_START_HOUR + 1,
+        )
+        assert report.results["ours"].model is ours_model_set
+
+    def test_explicit_population(self, ground_truth_trace, holdout_trace, ours_model_set):
+        report = evaluate_methods(
+            ground_truth_trace,
+            holdout_trace,
+            num_ues=50,
+            methods=("ours",),
+            models={"ours": ours_model_set},
+            generation_hour=TRACE_START_HOUR + 1,
+        )
+        assert report.num_ues == 50
+        assert report.results["ours"].synthesized.num_ues <= 50

@@ -1,0 +1,152 @@
+"""Tests for model introspection (repro.model.inspect)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential
+from repro.model import (
+    Edge,
+    SemiMarkovChain,
+    StateModel,
+    describe_model_set,
+    expected_event_rates,
+    state_occupancy,
+    stationary_distribution,
+    summarize_cluster,
+    summarize_model_set,
+)
+from repro.trace import DeviceType, EventType
+
+E = EventType
+
+
+def ping_pong_chain(rate_ab=1.0, rate_ba=0.5) -> SemiMarkovChain:
+    """A <-> B with exponential dwells (mean 1/rate)."""
+    return SemiMarkovChain(
+        {
+            "A": StateModel(
+                edges=(Edge(E.SRV_REQ, "B", 1.0, Exponential(rate=rate_ab)),)
+            ),
+            "B": StateModel(
+                edges=(Edge(E.S1_CONN_REL, "A", 1.0, Exponential(rate=rate_ba)),)
+            ),
+        }
+    )
+
+
+class TestStationary:
+    def test_ping_pong_is_uniform_in_jumps(self):
+        pi = stationary_distribution(ping_pong_chain())
+        assert pi["A"] == pytest.approx(0.5, abs=1e-6)
+        assert pi["B"] == pytest.approx(0.5, abs=1e-6)
+
+    def test_biased_three_state(self):
+        # A -> B (prob 1), B -> A or C equally, C -> A.
+        chain = SemiMarkovChain(
+            {
+                "A": StateModel(edges=(Edge(E.HO, "B", 1.0, Exponential(1.0)),)),
+                "B": StateModel(
+                    edges=(
+                        Edge(E.TAU, "A", 0.5, Exponential(1.0)),
+                        Edge(E.HO, "C", 0.5, Exponential(1.0)),
+                    )
+                ),
+                "C": StateModel(edges=(Edge(E.TAU, "A", 1.0, Exponential(1.0)),)),
+            }
+        )
+        pi = stationary_distribution(chain)
+        # pi_A = 0.4, pi_B = 0.4, pi_C = 0.2 solves pi P = pi.
+        assert pi["A"] == pytest.approx(0.4, abs=1e-6)
+        assert pi["B"] == pytest.approx(0.4, abs=1e-6)
+        assert pi["C"] == pytest.approx(0.2, abs=1e-6)
+
+    def test_sums_to_one(self, ours_model_set):
+        hm = ours_model_set.models[DeviceType.PHONE][
+            ours_model_set.hours(DeviceType.PHONE)[0]
+        ]
+        pi = stationary_distribution(hm.clusters[0].chain)
+        assert sum(pi.values()) == pytest.approx(1.0)
+
+
+class TestOccupancy:
+    def test_time_weighting(self):
+        # Dwell in A is 1s, in B 2s -> occupancy 1/3 vs 2/3.
+        occ = state_occupancy(ping_pong_chain(rate_ab=1.0, rate_ba=0.5))
+        assert occ["A"] == pytest.approx(1 / 3, abs=1e-6)
+        assert occ["B"] == pytest.approx(2 / 3, abs=1e-6)
+
+    def test_sums_to_one(self):
+        occ = state_occupancy(ping_pong_chain())
+        assert sum(occ.values()) == pytest.approx(1.0)
+
+
+class TestEventRates:
+    def test_ping_pong_rates(self):
+        # One SRV_REQ and one S1_CONN_REL per 3-second cycle.
+        rates = expected_event_rates(ping_pong_chain(rate_ab=1.0, rate_ba=0.5))
+        assert rates[E.SRV_REQ] == pytest.approx(1 / 3, abs=1e-6)
+        assert rates[E.S1_CONN_REL] == pytest.approx(1 / 3, abs=1e-6)
+        assert rates[E.HO] == 0.0
+
+    def test_analytic_matches_simulation(self, rng):
+        """Monte-Carlo check of the steady-state rate computation."""
+        chain = ping_pong_chain(rate_ab=2.0, rate_ba=1.0)
+        rates = expected_event_rates(chain)
+        # Simulate the chain for a long horizon.
+        state, t, counts = "A", 0.0, {E.SRV_REQ: 0, E.S1_CONN_REL: 0}
+        horizon = 50_000.0
+        while t < horizon:
+            dwell, event, target = chain.step(state, rng)
+            t += dwell
+            if t < horizon:
+                counts[event] += 1
+            state = target
+        for event in (E.SRV_REQ, E.S1_CONN_REL):
+            assert counts[event] / horizon == pytest.approx(
+                rates[event], rel=0.05
+            )
+
+
+class TestSummaries:
+    def test_cluster_summary_includes_overlay(self, base_model_set):
+        dt = DeviceType.PHONE
+        hm = base_model_set.models[dt][base_model_set.hours(dt)[0]]
+        summary = summarize_cluster(hm.clusters[0])
+        # Overlay HO rate must appear in the per-hour event rates.
+        assert summary.event_rates_per_hour[E.HO] > 0.0
+
+    def test_model_set_summary(self, ours_model_set):
+        summary = summarize_model_set(ours_model_set)
+        assert summary.machine_kind == "two_level"
+        assert summary.num_models == ours_model_set.num_models
+        for dt in summary.predicted_events_per_ue_hour:
+            assert summary.predicted_events_per_ue_hour[dt] >= 0.0
+            assert 0.0 <= summary.mean_p_active[dt] <= 1.0
+
+    def test_predicted_rate_is_upper_ballpark(self, ours_model_set):
+        """The steady-state prediction brackets the generated volume.
+
+        The analytic rate describes the chain running continuously; the
+        generator's per-hour counts sit below it (mid-hour starts,
+        hour-boundary drops, and the right-truncation of fitted sojourn
+        CDFs all push the steady-state estimate up), so the prediction
+        is an order-of-magnitude upper ballpark, not a point estimate.
+        """
+        from repro.generator import TrafficGenerator
+
+        summary = summarize_model_set(ours_model_set)
+        dt = DeviceType.PHONE
+        hour = ours_model_set.hours(dt)[0]
+        trace = TrafficGenerator(ours_model_set).generate(
+            {dt: 300}, start_hour=hour, num_hours=1, seed=8
+        )
+        actual = len(trace) / 300
+        predicted = summary.predicted_events_per_ue_hour[dt]
+        assert predicted > 0
+        assert actual / 2 < predicted < actual * 10
+
+    def test_describe_is_readable(self, ours_model_set):
+        text = describe_model_set(ours_model_set)
+        assert "two_level" in text
+        assert "PHONE" in text
+        assert "predicted events/UE-hour" in text

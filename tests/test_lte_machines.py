@@ -1,0 +1,142 @@
+"""Structural tests for the LTE machines (Figs. 1 and 5 of the paper)."""
+
+import pytest
+
+from repro.statemachines import (
+    CONNECTED,
+    CONNECTED_SUBSTATES,
+    DEREGISTERED,
+    HO_S,
+    IDLE,
+    IDLE_SUBSTATES,
+    S1_REL_S_1,
+    S1_REL_S_2,
+    SECOND_LEVEL_TRANSITIONS,
+    SRV_REQ_S,
+    TAU_S_CONN,
+    TAU_S_IDLE,
+    ecm_machine,
+    emm_ecm_machine,
+    emm_machine,
+    two_level_machine,
+)
+from repro.trace import EventType
+
+E = EventType
+
+
+class TestEmmEcmFig1:
+    def test_emm_two_states(self):
+        m = emm_machine()
+        assert len(m.states) == 2
+        assert m.next_state("EMM_DEREGISTERED", E.ATCH) == "EMM_REGISTERED"
+        assert m.next_state("EMM_REGISTERED", E.DTCH) == "EMM_DEREGISTERED"
+
+    def test_ecm_two_states(self):
+        m = ecm_machine()
+        assert m.next_state("ECM_IDLE", E.SRV_REQ) == "ECM_CONNECTED"
+        assert m.next_state("ECM_CONNECTED", E.S1_CONN_REL) == "ECM_IDLE"
+
+    def test_merged_machine_attach_enters_connected(self):
+        """§5.1: leaving DEREGISTERED always enters CONNECTED."""
+        m = emm_ecm_machine()
+        assert m.next_state(DEREGISTERED, E.ATCH) == CONNECTED
+
+    def test_merged_machine_detach_from_both(self):
+        m = emm_ecm_machine()
+        assert m.next_state(CONNECTED, E.DTCH) == DEREGISTERED
+        assert m.next_state(IDLE, E.DTCH) == DEREGISTERED
+
+    def test_merged_machine_rejects_category2(self):
+        m = emm_ecm_machine()
+        for state in (DEREGISTERED, CONNECTED, IDLE):
+            assert not m.can_fire(state, E.HO)
+            assert not m.can_fire(state, E.TAU)
+
+
+class TestTwoLevelFig5:
+    @pytest.fixture()
+    def m(self):
+        return two_level_machine()
+
+    def test_seven_states(self, m):
+        assert len(m.states) == 7
+
+    def test_parents(self, m):
+        for leaf in CONNECTED_SUBSTATES:
+            assert m.parent(leaf) == CONNECTED
+        for leaf in IDLE_SUBSTATES:
+            assert m.parent(leaf) == IDLE
+        assert m.parent(DEREGISTERED) == DEREGISTERED
+
+    def test_attach_enters_srv_req_s(self, m):
+        assert m.next_state(DEREGISTERED, E.ATCH) == SRV_REQ_S
+
+    def test_srv_req_only_from_s1_rel_states(self, m):
+        """The starred edge of Fig. 5."""
+        assert m.can_fire(S1_REL_S_1, E.SRV_REQ)
+        assert m.can_fire(S1_REL_S_2, E.SRV_REQ)
+        assert not m.can_fire(TAU_S_IDLE, E.SRV_REQ)
+        for leaf in CONNECTED_SUBSTATES:
+            assert not m.can_fire(leaf, E.SRV_REQ)
+
+    def test_s1_rel_from_any_connected_substate(self, m):
+        for leaf in CONNECTED_SUBSTATES:
+            assert m.next_state(leaf, E.S1_CONN_REL) == S1_REL_S_1
+
+    def test_tau_in_idle_followed_by_release(self, m):
+        """§5.1: after TAU in IDLE, S1_CONN_REL always follows."""
+        assert m.next_state(TAU_S_IDLE, E.S1_CONN_REL) == S1_REL_S_2
+        assert m.events_from(TAU_S_IDLE) == [E.DTCH, E.S1_CONN_REL]
+
+    def test_ho_only_in_connected(self, m):
+        for leaf in CONNECTED_SUBSTATES:
+            assert m.next_state(leaf, E.HO) == HO_S
+        for leaf in IDLE_SUBSTATES + (DEREGISTERED,):
+            assert not m.can_fire(leaf, E.HO)
+
+    def test_ho_self_loop(self, m):
+        assert m.next_state(HO_S, E.HO) == HO_S
+
+    def test_tau_self_loop_in_connected(self, m):
+        assert m.next_state(TAU_S_CONN, E.TAU) == TAU_S_CONN
+
+    def test_tau_targets_depend_on_top_state(self, m):
+        assert m.next_state(SRV_REQ_S, E.TAU) == TAU_S_CONN
+        assert m.next_state(S1_REL_S_1, E.TAU) == TAU_S_IDLE
+        assert m.next_state(S1_REL_S_2, E.TAU) == TAU_S_IDLE
+
+    def test_detach_from_every_registered_substate(self, m):
+        for leaf in CONNECTED_SUBSTATES + IDLE_SUBSTATES:
+            assert m.next_state(leaf, E.DTCH) == DEREGISTERED
+
+    def test_no_tau_in_deregistered(self, m):
+        assert not m.can_fire(DEREGISTERED, E.TAU)
+
+    def test_all_states_reachable(self, m):
+        assert m.reachable_states() == m.states
+
+    def test_second_level_transitions_are_valid_edges(self, m):
+        assert len(SECOND_LEVEL_TRANSITIONS) == 9
+        for source, event in SECOND_LEVEL_TRANSITIONS:
+            assert m.can_fire(source, event)
+
+    def test_accepts_canonical_lifecycle(self, m):
+        sequence = [
+            E.ATCH,          # -> SRV_REQ_S
+            E.HO,            # -> HO_S
+            E.HO,            # self-loop
+            E.TAU,           # -> TAU_S_CONN
+            E.S1_CONN_REL,   # -> S1_REL_S_1
+            E.TAU,           # -> TAU_S_IDLE
+            E.S1_CONN_REL,   # -> S1_REL_S_2
+            E.SRV_REQ,       # -> SRV_REQ_S
+            E.DTCH,          # -> DEREGISTERED
+        ]
+        assert m.accepts(sequence)
+
+    def test_rejects_ho_in_idle_sequence(self, m):
+        assert not m.accepts([E.ATCH, E.S1_CONN_REL, E.HO])
+
+    def test_rejects_srv_req_while_connected(self, m):
+        assert not m.accepts([E.ATCH, E.SRV_REQ])

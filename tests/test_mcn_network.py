@@ -1,0 +1,148 @@
+"""Tests for the procedure-level core simulator (repro.mcn.network)."""
+
+import numpy as np
+import pytest
+
+from repro.mcn import (
+    EPC_FUNCTIONS,
+    EPC_PROCEDURES,
+    EPC_TO_5GC,
+    FIVEGC_FUNCTIONS,
+    FIVEGC_PROCEDURES,
+    CoreNetworkSimulator,
+    functions_for,
+    procedures_for,
+)
+from repro.trace import DeviceType, EventType, Trace
+
+from conftest import make_trace
+
+E = EventType
+P = DeviceType.PHONE
+
+
+class TestProcedures:
+    def test_every_lte_event_has_a_procedure(self):
+        assert set(EPC_PROCEDURES) == set(EventType)
+
+    def test_5gc_has_no_tau(self):
+        assert E.TAU not in FIVEGC_PROCEDURES
+        assert set(FIVEGC_PROCEDURES) == set(EventType) - {E.TAU}
+
+    def test_procedures_use_declared_functions(self):
+        for proc in EPC_PROCEDURES.values():
+            assert set(proc.functions()) <= set(EPC_FUNCTIONS)
+        for proc in FIVEGC_PROCEDURES.values():
+            assert set(proc.functions()) <= set(FIVEGC_FUNCTIONS)
+
+    def test_attach_is_heaviest_procedure(self):
+        attach = EPC_PROCEDURES[E.ATCH].total_service
+        for event, proc in EPC_PROCEDURES.items():
+            if event != E.ATCH:
+                assert attach >= proc.total_service
+
+    def test_attach_touches_hss(self):
+        assert "HSS" in EPC_PROCEDURES[E.ATCH].functions()
+
+    def test_role_mapping_complete(self):
+        assert set(EPC_TO_5GC) == set(EPC_FUNCTIONS)
+        assert set(EPC_TO_5GC.values()) == set(FIVEGC_FUNCTIONS)
+
+    def test_registry_accessors(self):
+        assert procedures_for("epc") is EPC_PROCEDURES
+        assert functions_for("5gc") == FIVEGC_FUNCTIONS
+        with pytest.raises(ValueError):
+            procedures_for("6gc")
+        with pytest.raises(ValueError):
+            functions_for("6gc")
+
+
+class TestSimulatorConstruction:
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            CoreNetworkSimulator(workers=0)
+        with pytest.raises(ValueError):
+            CoreNetworkSimulator(workers={"MME": 0})
+
+    def test_rejects_bad_link_delay(self):
+        with pytest.raises(ValueError):
+            CoreNetworkSimulator(link_delay=-1.0)
+
+    def test_per_function_workers(self):
+        sim = CoreNetworkSimulator(workers={"MME": 8})
+        assert sim.workers["MME"] == 8
+        assert sim.workers["HSS"] == 4  # default
+
+
+class TestProcessing:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            CoreNetworkSimulator().process(Trace.empty())
+
+    def test_message_count(self):
+        tr = make_trace([(1, 0.0, E.SRV_REQ, P), (1, 10.0, E.S1_CONN_REL, P)])
+        report = CoreNetworkSimulator(seed=1).process(tr)
+        expected = len(EPC_PROCEDURES[E.SRV_REQ].steps) + len(
+            EPC_PROCEDURES[E.S1_CONN_REL].steps
+        )
+        assert report.num_messages == expected
+        assert report.num_events == 2
+
+    def test_procedure_latency_exceeds_service_floor(self):
+        tr = make_trace([(1, 0.0, E.ATCH, P)])
+        sim = CoreNetworkSimulator(seed=0, service_jitter=0.0)
+        report = sim.process(tr)
+        attach = report.procedures["attach"]
+        proc = EPC_PROCEDURES[E.ATCH]
+        floor = proc.total_service + sim.link_delay * (len(proc.steps) - 1)
+        assert attach.mean_latency == pytest.approx(floor, rel=1e-6)
+
+    def test_function_reports_cover_all_nfs(self, ground_truth_trace):
+        report = CoreNetworkSimulator(seed=2).process(
+            ground_truth_trace.window(0, 900.0)
+        )
+        assert set(report.functions) == set(EPC_FUNCTIONS)
+        mme = report.functions["MME"]
+        assert mme.messages > 0
+        assert 0.0 <= mme.utilization <= 1.0
+
+    def test_mme_is_bottleneck_under_lte(self, ground_truth_trace):
+        """The MME fronts every procedure, so it carries the most load."""
+        report = CoreNetworkSimulator(seed=2).process(
+            ground_truth_trace.window(0, 1800.0)
+        )
+        assert report.bottleneck() == "MME"
+
+    def test_overload_produces_waits(self):
+        rng = np.random.default_rng(3)
+        times = np.sort(rng.uniform(0, 5.0, 3000))
+        tr = make_trace([(i % 40, float(t), E.SRV_REQ, P) for i, t in enumerate(times)])
+        report = CoreNetworkSimulator(workers=1, seed=1).process(tr)
+        assert report.functions["MME"].mean_wait > 0.01
+        assert report.functions["MME"].utilization > 0.9
+
+    def test_more_workers_help(self):
+        rng = np.random.default_rng(3)
+        times = np.sort(rng.uniform(0, 10.0, 2000))
+        tr = make_trace([(i % 40, float(t), E.SRV_REQ, P) for i, t in enumerate(times)])
+        small = CoreNetworkSimulator(workers=1, seed=1).process(tr)
+        big = CoreNetworkSimulator(workers=8, seed=1).process(tr)
+        assert big.functions["MME"].mean_wait < small.functions["MME"].mean_wait
+
+    def test_deterministic(self, ground_truth_trace):
+        window = ground_truth_trace.window(0, 600.0)
+        a = CoreNetworkSimulator(seed=9).process(window)
+        b = CoreNetworkSimulator(seed=9).process(window)
+        assert a.functions["MME"].mean_wait == b.functions["MME"].mean_wait
+
+    def test_5gc_skips_tau(self):
+        tr = make_trace([(1, 0.0, E.SRV_REQ, P), (1, 5.0, E.TAU, P)])
+        report = CoreNetworkSimulator(core="5gc", seed=1).process(tr)
+        assert report.num_events == 1  # the TAU is not a 5GC procedure
+        assert set(report.functions) == set(FIVEGC_FUNCTIONS)
+
+    def test_5gc_procedure_names(self, ground_truth_trace):
+        report = CoreNetworkSimulator(core="5gc", seed=1).process(
+            ground_truth_trace.window(0, 900.0)
+        )
+        assert "registration" in report.procedures or "service_request" in report.procedures

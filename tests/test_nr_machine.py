@@ -1,0 +1,87 @@
+"""Structural tests for the 5G SA machine (Fig. 6 of the paper)."""
+
+import pytest
+
+from repro.statemachines import (
+    CM_CONNECTED,
+    CM_IDLE,
+    NR_STATES,
+    RM_DEREGISTERED,
+    nr_sa_machine,
+)
+from repro.statemachines.nr import HO_S, SRV_REQ_S
+from repro.trace import EventType
+
+E = EventType
+
+
+@pytest.fixture()
+def m():
+    return nr_sa_machine()
+
+
+class TestNrSaMachine:
+    def test_four_states(self, m):
+        assert len(m.states) == 4
+        assert m.states == set(NR_STATES)
+
+    def test_no_tau_anywhere(self, m):
+        for state in m.states:
+            assert not m.can_fire(state, E.TAU)
+
+    def test_register_enters_connected(self, m):
+        assert m.next_state(RM_DEREGISTERED, E.ATCH) == SRV_REQ_S
+        assert m.parent(SRV_REQ_S) == CM_CONNECTED
+
+    def test_idle_is_single_substate(self, m):
+        assert m.leaves_of(CM_IDLE) == {CM_IDLE}
+
+    def test_an_release_from_connected_substates(self, m):
+        assert m.next_state(SRV_REQ_S, E.S1_CONN_REL) == CM_IDLE
+        assert m.next_state(HO_S, E.S1_CONN_REL) == CM_IDLE
+
+    def test_ho_only_in_connected(self, m):
+        assert m.next_state(SRV_REQ_S, E.HO) == HO_S
+        assert m.next_state(HO_S, E.HO) == HO_S
+        assert not m.can_fire(CM_IDLE, E.HO)
+        assert not m.can_fire(RM_DEREGISTERED, E.HO)
+
+    def test_deregister_from_everywhere_registered(self, m):
+        for state in (SRV_REQ_S, HO_S, CM_IDLE):
+            assert m.next_state(state, E.DTCH) == RM_DEREGISTERED
+
+    def test_all_states_reachable(self, m):
+        assert m.reachable_states() == m.states
+
+    def test_is_lte_machine_minus_tau(self, m):
+        """Fig. 6 = Fig. 5 with TAU states/edges removed (§6)."""
+        from repro.statemachines import two_level_machine
+
+        lte = two_level_machine()
+        lte_events = {
+            (t.source, t.event, t.target)
+            for t in lte.transitions()
+            if t.event != E.TAU
+            and "TAU" not in t.source
+            and "TAU" not in t.target
+        }
+        # Rename LTE states to their NR counterparts and compare.
+        rename = {
+            "DEREGISTERED": RM_DEREGISTERED,
+            "SRV_REQ_S": SRV_REQ_S,
+            "HO_S": HO_S,
+            "S1_REL_S_1": CM_IDLE,
+            "S1_REL_S_2": CM_IDLE,
+        }
+        renamed = {
+            (rename[s], e, rename[t])
+            for (s, e, t) in lte_events
+            if s in rename and t in rename
+        }
+        nr_edges = {(t.source, t.event, t.target) for t in m.transitions()}
+        assert renamed == nr_edges
+
+    def test_accepts_lifecycle(self, m):
+        assert m.accepts(
+            [E.ATCH, E.HO, E.HO, E.S1_CONN_REL, E.SRV_REQ, E.DTCH]
+        )

@@ -1,0 +1,75 @@
+"""Tests for parallel generation (repro.generator.parallel)."""
+
+import numpy as np
+import pytest
+
+from repro.generator import TrafficGenerator, generate_parallel
+from repro.generator.parallel import _plan_chunks
+from repro.trace import DeviceType
+
+
+class TestChunkPlanning:
+    def test_contiguous_coverage(self):
+        chunks = _plan_chunks(
+            {DeviceType.PHONE: 7, DeviceType.TABLET: 3}, chunk_size=3, first_ue_id=0
+        )
+        total = sum(n for _, _, n, _ in chunks)
+        assert total == 10
+        # positions are contiguous from zero.
+        positions = sorted((start, n) for _, start, n, _ in chunks)
+        expected = 0
+        for start, n in positions:
+            assert start == expected
+            expected += n
+
+    def test_ue_ids_contiguous(self):
+        chunks = _plan_chunks({DeviceType.PHONE: 5}, chunk_size=2, first_ue_id=100)
+        ids = sorted(ue0 for _, _, _, ue0 in chunks)
+        assert ids == [100, 102, 104]
+
+
+class TestGenerateParallel:
+    def test_single_process_matches_serial(self, ours_model_set):
+        serial = TrafficGenerator(ours_model_set).generate(
+            60, start_hour=18, num_hours=1, seed=9
+        )
+        chunked = generate_parallel(
+            ours_model_set,
+            60,
+            start_hour=18,
+            num_hours=1,
+            seed=9,
+            processes=1,
+            chunk_size=7,
+        )
+        assert chunked == serial
+
+    def test_multiprocess_matches_serial(self, ours_model_set):
+        serial = TrafficGenerator(ours_model_set).generate(
+            40, start_hour=18, num_hours=1, seed=12
+        )
+        parallel = generate_parallel(
+            ours_model_set,
+            40,
+            start_hour=18,
+            num_hours=1,
+            seed=12,
+            processes=2,
+            chunk_size=5,
+        )
+        assert parallel == serial
+
+    def test_chunk_size_does_not_change_output(self, ours_model_set):
+        a = generate_parallel(
+            ours_model_set, 30, start_hour=18, seed=3, processes=1, chunk_size=1
+        )
+        b = generate_parallel(
+            ours_model_set, 30, start_hour=18, seed=3, processes=1, chunk_size=100
+        )
+        assert a == b
+
+    def test_empty_hours_give_empty_trace(self, ours_model_set):
+        trace = generate_parallel(
+            ours_model_set, 10, start_hour=3, seed=1, processes=1
+        )
+        assert len(trace) == 0

@@ -1,0 +1,185 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import adaptive_cluster
+from repro.distributions import EmpiricalCDF, Exponential, Pareto, Weibull
+from repro.stats import ecdf, kolmogorov_sf, ks_distance_to, max_y_distance
+from repro.statemachines import replay_ue, two_level_machine
+from repro.trace import DeviceType, EventType, Trace
+
+SETTINGS = settings(
+    max_examples=50, suppress_health_check=[HealthCheck.too_slow], deadline=None
+)
+
+positive_floats = st.floats(
+    min_value=1e-3, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+sample_lists = st.lists(positive_floats, min_size=2, max_size=200)
+
+
+class TestDistributionInvariants:
+    @SETTINGS
+    @given(sample_lists)
+    def test_exponential_mean_matches_samples(self, samples):
+        dist = Exponential.fit(samples)
+        assert abs(dist.mean() - float(np.mean(samples))) < 1e-6 * max(samples)
+
+    @SETTINGS
+    @given(sample_lists)
+    def test_empirical_cdf_bounds(self, samples):
+        dist = EmpiricalCDF.fit(samples)
+        lo, hi = dist.support
+        assert lo == min(samples)
+        assert hi == max(samples)
+        qs = dist.ppf(np.linspace(0, 1, 21))
+        assert np.all(qs >= lo - 1e-12)
+        assert np.all(qs <= hi + 1e-12)
+        assert np.all(np.diff(qs) >= -1e-12)
+
+    @SETTINGS
+    @given(sample_lists)
+    def test_empirical_roundtrip_preserves_quantiles(self, samples):
+        dist = EmpiricalCDF.fit(samples)
+        back = EmpiricalCDF.from_list(dist.to_list())
+        assert np.allclose(back.quantiles, dist.quantiles)
+
+    @SETTINGS
+    @given(sample_lists, st.integers(min_value=0, max_value=2**31 - 1))
+    def test_samples_stay_in_support(self, samples, seed):
+        dist = EmpiricalCDF.fit(samples)
+        rng = np.random.default_rng(seed)
+        out = dist.sample(rng, 50)
+        lo, hi = dist.support
+        assert np.all((out >= lo - 1e-9) & (out <= hi + 1e-9))
+
+    @SETTINGS
+    @given(sample_lists)
+    def test_ks_distance_bounded(self, samples):
+        dist = Exponential.fit(samples)
+        d = ks_distance_to(dist, samples)
+        assert 0.0 <= d <= 1.0
+
+    @SETTINGS
+    @given(
+        st.floats(min_value=0.1, max_value=10.0),
+        st.floats(min_value=0.01, max_value=100.0),
+    )
+    def test_pareto_ppf_cdf_inverse(self, alpha, x_m):
+        dist = Pareto(alpha=alpha, x_m=x_m)
+        qs = np.array([0.01, 0.5, 0.99])
+        assert np.allclose(dist.cdf(dist.ppf(qs)), qs, atol=1e-9)
+
+    @SETTINGS
+    @given(
+        st.floats(min_value=0.2, max_value=10.0),
+        st.floats(min_value=0.01, max_value=1000.0),
+    )
+    def test_weibull_ppf_cdf_inverse(self, k, lam):
+        dist = Weibull(k=k, lam=lam)
+        qs = np.array([0.05, 0.5, 0.95])
+        assert np.allclose(dist.cdf(dist.ppf(qs)), qs, atol=1e-9)
+
+
+class TestStatsInvariants:
+    @SETTINGS
+    @given(sample_lists)
+    def test_ecdf_is_nondecreasing_and_hits_one(self, samples):
+        xs, ps = ecdf(samples)
+        assert np.all(np.diff(ps) >= 0)
+        assert ps[-1] == 1.0
+
+    @SETTINGS
+    @given(sample_lists, sample_lists)
+    def test_max_y_distance_is_metric_like(self, a, b):
+        d = max_y_distance(a, b)
+        assert 0.0 <= d <= 1.0
+        assert d == max_y_distance(b, a)
+        assert max_y_distance(a, a) == 0.0
+
+    @SETTINGS
+    @given(st.floats(min_value=0.0, max_value=10.0))
+    def test_kolmogorov_sf_is_probability(self, x):
+        q = kolmogorov_sf(x)
+        assert 0.0 <= q <= 1.0
+
+
+class TestClusteringInvariants:
+    @SETTINGS
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=10_000),
+            st.lists(
+                st.floats(min_value=0, max_value=1e4, allow_nan=False),
+                min_size=4,
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        st.integers(min_value=1, max_value=50),
+    )
+    def test_partition_properties(self, raw, theta_n):
+        features = {ue: np.asarray(v) for ue, v in raw.items()}
+        result = adaptive_cluster(features, theta_n=theta_n)
+        # Exact partition.
+        members = [ue for c in result.clusters for ue in c.ue_ids]
+        assert sorted(members) == sorted(features)
+        assert len(members) == len(set(members))
+        # Assignment is consistent.
+        for cluster in result.clusters:
+            for ue in cluster.ue_ids:
+                assert result.assignment[ue] == cluster.cluster_id
+
+
+valid_event_walks = st.lists(
+    st.sampled_from(list(EventType)), min_size=0, max_size=40
+)
+
+
+class TestReplayInvariants:
+    @SETTINGS
+    @given(valid_event_walks)
+    def test_replay_never_crashes_and_counts_records(self, events):
+        times = [float(i) for i in range(len(events))]
+        result = replay_ue(events, times)
+        assert len(result.records) == len(events)
+        assert result.violations >= 0
+
+    @SETTINGS
+    @given(valid_event_walks)
+    def test_replay_respects_machine_for_unforced_records(self, events):
+        machine = two_level_machine()
+        times = [float(i) for i in range(len(events))]
+        result = replay_ue(events, times)
+        for rec in result.records:
+            assert machine.next_state(rec.source, rec.event) == rec.target
+
+
+class TestTraceInvariants:
+    @SETTINGS
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=50),
+                st.floats(min_value=0, max_value=1e5, allow_nan=False),
+                st.sampled_from(list(EventType)),
+                st.sampled_from(list(DeviceType)),
+            ),
+            max_size=100,
+        )
+    )
+    def test_trace_always_sorted_and_partitionable(self, rows):
+        tr = Trace(
+            np.array([r[0] for r in rows], dtype=np.int64),
+            np.array([r[1] for r in rows], dtype=np.float64),
+            np.array([int(r[2]) for r in rows], dtype=np.int8),
+            np.array([int(r[3]) for r in rows], dtype=np.int8),
+        )
+        assert np.all(np.diff(tr.times) >= 0)
+        total = sum(len(sub) for _, sub in tr.per_ue())
+        assert total == len(tr)
+        if len(tr):
+            assert abs(sum(tr.breakdown().values()) - 1.0) < 1e-9

@@ -1,0 +1,77 @@
+"""Guards on the public API surface.
+
+The re-export lists are the library's contract; these tests catch
+accidental removals and undocumented additions.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+SUBPACKAGES = (
+    "repro.trace",
+    "repro.statemachines",
+    "repro.distributions",
+    "repro.stats",
+    "repro.analysis",
+    "repro.clustering",
+    "repro.groundtruth",
+    "repro.model",
+    "repro.generator",
+    "repro.baselines",
+    "repro.fiveg",
+    "repro.validation",
+    "repro.mcn",
+    "repro.harness",
+    "repro.workloads",
+    "repro.cli",
+)
+
+
+class TestExportIntegrity:
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_all_exports_resolve(self, name):
+        module = importlib.import_module(name)
+        assert hasattr(module, "__all__"), f"{name} lacks __all__"
+        for symbol in module.__all__:
+            assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_exports_are_documented(self, name):
+        """Every exported class/function carries a docstring."""
+        module = importlib.import_module(name)
+        for symbol in module.__all__:
+            obj = getattr(module, symbol)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert inspect.getdoc(obj), f"{name}.{symbol} undocumented"
+
+    def test_top_level_exports(self):
+        for symbol in repro.__all__:
+            assert hasattr(repro, symbol)
+
+    def test_top_level_highlights_present(self):
+        for symbol in (
+            "Trace",
+            "EventType",
+            "DeviceType",
+            "TrafficGenerator",
+            "fit_model_set",
+            "simulate_ground_truth",
+            "ModelSet",
+            "scale_to_nsa",
+            "scale_to_sa",
+        ):
+            assert symbol in repro.__all__
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_subpackages_have_module_docstrings(self):
+        for name in SUBPACKAGES:
+            module = importlib.import_module(name)
+            assert module.__doc__, f"{name} lacks a module docstring"

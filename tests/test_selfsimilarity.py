@@ -1,0 +1,78 @@
+"""Tests for Hurst estimation (repro.stats.selfsimilarity)."""
+
+import numpy as np
+import pytest
+
+from repro.stats import hurst_rescaled_range, hurst_variance_time
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(11)
+
+
+def poisson_times(rng, rate=3.0, duration=20_000.0):
+    n = rng.poisson(rate * duration)
+    return np.sort(rng.uniform(0, duration, n))
+
+
+def bursty_times(rng, duration=20_000.0):
+    """On/off bursts with heavy-tailed off periods (LRD-like)."""
+    times = []
+    t = 0.0
+    while t < duration:
+        n = int(rng.integers(40, 160))
+        times.append(t + np.sort(rng.uniform(0, 8.0, n)))
+        t += float(rng.pareto(1.3) + 1.0) * 60.0
+    return np.concatenate(times)
+
+
+class TestVarianceTimeHurst:
+    def test_poisson_near_half(self, rng):
+        est = hurst_variance_time(poisson_times(rng))
+        assert est.hurst == pytest.approx(0.5, abs=0.1)
+        assert not est.is_long_range_dependent or est.hurst < 0.6
+
+    def test_bursty_traffic_lrd(self, rng):
+        est = hurst_variance_time(bursty_times(rng))
+        assert est.hurst > 0.65
+        assert est.is_long_range_dependent
+
+    def test_regression_quality_reported(self, rng):
+        est = hurst_variance_time(poisson_times(rng))
+        assert 0.0 <= est.r_squared <= 1.0
+        assert est.num_points >= 3
+
+    def test_too_short_series_rejected(self, rng):
+        with pytest.raises(ValueError, match="scales"):
+            hurst_variance_time(rng.uniform(0, 5.0, 50), duration=5.0)
+
+    def test_hurst_clamped_to_unit_interval(self, rng):
+        est = hurst_variance_time(bursty_times(rng))
+        assert 0.0 <= est.hurst <= 1.0
+
+
+class TestRescaledRange:
+    def test_poisson_near_half(self, rng):
+        est = hurst_rescaled_range(poisson_times(rng))
+        assert est.hurst == pytest.approx(0.55, abs=0.15)
+
+    def test_bursty_above_poisson(self, rng):
+        poisson = hurst_rescaled_range(poisson_times(rng))
+        bursty = hurst_rescaled_range(bursty_times(rng))
+        assert bursty.hurst > poisson.hurst
+
+    def test_needs_events(self):
+        with pytest.raises(ValueError):
+            hurst_rescaled_range([])
+
+    def test_short_series_rejected(self, rng):
+        with pytest.raises(ValueError):
+            hurst_rescaled_range(rng.uniform(0, 3.0, 10), duration=3.0)
+
+
+class TestOnGroundTruth:
+    def test_control_traffic_is_lrd(self, ground_truth_trace):
+        """The paper's premise: control traffic is bursty/self-similar."""
+        est = hurst_variance_time(ground_truth_trace.times)
+        assert est.is_long_range_dependent

@@ -1,0 +1,151 @@
+"""Tests for session analytics (repro.trace.sessions)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    DeviceType,
+    EventType,
+    Session,
+    extract_sessions,
+    session_stats,
+)
+
+from conftest import make_trace
+
+E = EventType
+P = DeviceType.PHONE
+
+
+class TestExtractSessions:
+    def test_simple_session(self):
+        tr = make_trace(
+            [(1, 10.0, E.SRV_REQ, P), (1, 40.0, E.S1_CONN_REL, P)]
+        )
+        sessions = extract_sessions(tr)
+        assert len(sessions) == 1
+        s = sessions[0]
+        assert s.duration == pytest.approx(30.0)
+        assert s.opener == E.SRV_REQ
+        assert s.closer == E.S1_CONN_REL
+        assert s.num_events == 2
+
+    def test_attach_opened_session(self):
+        tr = make_trace([(1, 0.0, E.ATCH, P), (1, 5.0, E.DTCH, P)])
+        s = extract_sessions(tr)[0]
+        assert s.opener == E.ATCH
+        assert s.closer == E.DTCH
+
+    def test_inner_events_counted(self):
+        tr = make_trace(
+            [
+                (1, 0.0, E.SRV_REQ, P),
+                (1, 1.0, E.HO, P),
+                (1, 2.0, E.HO, P),
+                (1, 3.0, E.TAU, P),
+                (1, 4.0, E.S1_CONN_REL, P),
+            ]
+        )
+        s = extract_sessions(tr)[0]
+        assert s.handovers == 2
+        assert s.tracking_updates == 1
+        assert s.num_events == 5
+
+    def test_unclosed_session_skipped(self):
+        tr = make_trace([(1, 0.0, E.SRV_REQ, P), (1, 1.0, E.HO, P)])
+        assert extract_sessions(tr) == []
+
+    def test_leading_idle_events_skipped(self):
+        # TAU exchange in IDLE before the first opener is not a session.
+        tr = make_trace(
+            [
+                (1, 0.0, E.TAU, P),
+                (1, 1.0, E.S1_CONN_REL, P),
+                (1, 5.0, E.SRV_REQ, P),
+                (1, 9.0, E.S1_CONN_REL, P),
+            ]
+        )
+        sessions = extract_sessions(tr)
+        assert len(sessions) == 1
+        assert sessions[0].start == 5.0
+
+    def test_invalid_reopen_restarts(self):
+        tr = make_trace(
+            [
+                (1, 0.0, E.SRV_REQ, P),
+                (1, 5.0, E.SRV_REQ, P),       # protocol-invalid re-open
+                (1, 8.0, E.S1_CONN_REL, P),
+            ]
+        )
+        sessions = extract_sessions(tr)
+        assert len(sessions) == 1
+        assert sessions[0].start == 5.0
+
+    def test_multiple_ues(self):
+        tr = make_trace(
+            [
+                (1, 0.0, E.SRV_REQ, P),
+                (2, 1.0, E.SRV_REQ, P),
+                (1, 2.0, E.S1_CONN_REL, P),
+                (2, 3.0, E.S1_CONN_REL, P),
+            ]
+        )
+        sessions = extract_sessions(tr)
+        assert {s.ue_id for s in sessions} == {1, 2}
+
+    def test_device_filter(self, ground_truth_trace):
+        all_sessions = extract_sessions(ground_truth_trace)
+        phone_sessions = extract_sessions(ground_truth_trace, P)
+        assert 0 < len(phone_sessions) < len(all_sessions)
+
+
+class TestSessionStats:
+    def test_empty(self):
+        stats = session_stats(make_trace([(1, 0.0, E.HO, P)]))
+        assert stats.num_sessions == 0
+        assert math.isnan(stats.mean_duration)
+
+    def test_basic_numbers(self):
+        tr = make_trace(
+            [
+                (1, 0.0, E.SRV_REQ, P),
+                (1, 10.0, E.S1_CONN_REL, P),
+                (1, 30.0, E.SRV_REQ, P),
+                (1, 50.0, E.S1_CONN_REL, P),
+            ]
+        )
+        stats = session_stats(tr)
+        assert stats.num_sessions == 2
+        assert stats.mean_duration == pytest.approx(15.0)
+        assert stats.sessions_per_ue == pytest.approx(2.0)
+        assert stats.mean_intersession_gap == pytest.approx(20.0)
+
+    def test_gap_nan_with_single_sessions(self):
+        tr = make_trace(
+            [(1, 0.0, E.SRV_REQ, P), (1, 10.0, E.S1_CONN_REL, P)]
+        )
+        assert math.isnan(session_stats(tr).mean_intersession_gap)
+
+    def test_ground_truth_sessions_sane(self, ground_truth_trace):
+        stats = session_stats(ground_truth_trace, P)
+        assert stats.num_sessions > 100
+        assert stats.mean_duration > 0
+        assert stats.p95_duration >= stats.median_duration
+        assert stats.mean_events >= 2.0
+
+    def test_cars_have_more_handovers_per_session(self, ground_truth_trace):
+        phones = session_stats(ground_truth_trace, P)
+        cars = session_stats(ground_truth_trace, DeviceType.CONNECTED_CAR)
+        assert cars.mean_handovers > phones.mean_handovers
+
+    def test_synthesized_sessions_match_real_scale(
+        self, ground_truth_trace, synthesized_trace
+    ):
+        real = session_stats(ground_truth_trace.window(3600.0, 7200.0), P)
+        syn = session_stats(synthesized_trace, P)
+        assert syn.num_sessions > 0
+        # Median session duration within ~3x of the real one.
+        ratio = syn.median_duration / real.median_duration
+        assert 1 / 3 < ratio < 3

@@ -1,0 +1,186 @@
+"""Tests for the Trace container (repro.trace.trace)."""
+
+import numpy as np
+import pytest
+
+from repro.trace import DeviceType, Event, EventType, Trace
+
+from conftest import make_trace
+
+P = DeviceType.PHONE
+CC = DeviceType.CONNECTED_CAR
+E = EventType
+
+
+class TestConstruction:
+    def test_sorts_by_time(self):
+        tr = make_trace(
+            [(1, 5.0, E.SRV_REQ, P), (2, 1.0, E.ATCH, P), (1, 3.0, E.TAU, P)]
+        )
+        assert list(tr.times) == [1.0, 3.0, 5.0]
+
+    def test_ties_broken_by_ue_id(self):
+        tr = make_trace([(5, 1.0, E.HO, P), (2, 1.0, E.TAU, P)])
+        assert list(tr.ue_ids) == [2, 5]
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            Trace(
+                np.array([1]),
+                np.array([1.0, 2.0]),
+                np.array([0]),
+                np.array([0]),
+            )
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            make_trace([(1, -1.0, E.ATCH, P)])
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(ValueError, match="unknown event"):
+            Trace(
+                np.array([1]),
+                np.array([1.0]),
+                np.array([99], dtype=np.int8),
+                np.array([0], dtype=np.int8),
+            )
+
+    def test_from_events_roundtrip(self):
+        events = [
+            Event(1, 2.0, E.SRV_REQ, P),
+            Event(1, 1.0, E.ATCH, P),
+        ]
+        tr = Trace.from_events(events)
+        assert len(tr) == 2
+        assert tr[0].event_type == E.ATCH
+
+    def test_event_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            Event(1, -0.1, E.ATCH, P)
+
+    def test_empty(self):
+        tr = Trace.empty()
+        assert len(tr) == 0
+        assert tr.num_ues == 0
+        assert tr.duration == 0.0
+
+    def test_concatenate_resorts(self):
+        a = make_trace([(1, 10.0, E.SRV_REQ, P)])
+        b = make_trace([(2, 5.0, E.ATCH, CC)])
+        merged = Trace.concatenate([a, b])
+        assert list(merged.times) == [5.0, 10.0]
+        assert merged.num_ues == 2
+
+    def test_concatenate_empty_list(self):
+        assert len(Trace.concatenate([])) == 0
+
+
+class TestAccess:
+    def test_len_and_iter(self, tiny_trace):
+        assert len(tiny_trace) == 12
+        events = list(tiny_trace)
+        assert len(events) == 12
+        assert all(isinstance(e, Event) for e in events)
+
+    def test_getitem(self, tiny_trace):
+        first = tiny_trace[0]
+        assert first.ue_id == 1
+        assert first.event_type == E.ATCH
+
+    def test_equality(self, tiny_trace):
+        clone = make_trace(
+            [(e.ue_id, e.time, e.event_type, e.device_type) for e in tiny_trace]
+        )
+        assert clone == tiny_trace
+        assert tiny_trace != Trace.empty()
+
+    def test_repr_mentions_counts(self, tiny_trace):
+        text = repr(tiny_trace)
+        assert "12 events" in text
+        assert "2 UEs" in text
+
+    def test_num_ues(self, tiny_trace):
+        assert tiny_trace.num_ues == 2
+
+    def test_duration(self, tiny_trace):
+        assert tiny_trace.duration == pytest.approx(129.5)
+
+    def test_device_of(self, tiny_trace):
+        mapping = tiny_trace.device_of()
+        assert mapping == {1: P, 2: P}
+
+
+class TestSlicing:
+    def test_filter_device(self):
+        tr = make_trace([(1, 1.0, E.HO, P), (2, 2.0, E.HO, CC)])
+        assert len(tr.filter_device(P)) == 1
+        assert len(tr.filter_device(CC)) == 1
+        assert len(tr.filter_device(DeviceType.TABLET)) == 0
+
+    def test_filter_event(self, tiny_trace):
+        srv = tiny_trace.filter_event(E.SRV_REQ)
+        assert len(srv) == 3
+        assert set(srv.event_types.tolist()) == {int(E.SRV_REQ)}
+
+    def test_filter_ues(self, tiny_trace):
+        only_two = tiny_trace.filter_ues([2])
+        assert only_two.num_ues == 1
+        assert len(only_two) == 4
+
+    def test_window_half_open(self):
+        tr = make_trace(
+            [(1, 0.0, E.HO, P), (1, 10.0, E.HO, P), (1, 20.0, E.HO, P)]
+        )
+        win = tr.window(0.0, 20.0)
+        assert list(win.times) == [0.0, 10.0]
+
+    def test_window_rejects_inverted(self, tiny_trace):
+        with pytest.raises(ValueError, match="precedes"):
+            tiny_trace.window(10.0, 5.0)
+
+    def test_hour_window(self):
+        tr = make_trace(
+            [(1, 100.0, E.HO, P), (1, 3700.0, E.HO, P), (1, 7300.0, E.HO, P)]
+        )
+        assert len(tr.hour_window(0)) == 1
+        assert len(tr.hour_window(1)) == 1
+        assert len(tr.hour_window(2)) == 1
+        assert len(tr.hour_window(3)) == 0
+
+    def test_shift(self, tiny_trace):
+        shifted = tiny_trace.shift(100.0)
+        assert shifted.times[0] == tiny_trace.times[0] + 100.0
+        assert len(shifted) == len(tiny_trace)
+
+
+class TestPerUe:
+    def test_per_ue_order_and_partition(self, tiny_trace):
+        parts = dict(tiny_trace.per_ue())
+        assert sorted(parts) == [1, 2]
+        assert sum(len(p) for p in parts.values()) == len(tiny_trace)
+
+    def test_per_ue_preserves_time_order(self, tiny_trace):
+        for _, sub in tiny_trace.per_ue():
+            assert np.all(np.diff(sub.times) >= 0)
+
+    def test_ue_trace_missing_ue(self, tiny_trace):
+        assert len(tiny_trace.ue_trace(99)) == 0
+
+    def test_events_per_ue_total(self, tiny_trace):
+        counts = tiny_trace.events_per_ue()
+        assert counts == {1: 8, 2: 4}
+
+    def test_events_per_ue_filtered_includes_zero(self, tiny_trace):
+        counts = tiny_trace.events_per_ue(E.HO)
+        assert counts == {1: 1, 2: 0}
+
+    def test_breakdown_sums_to_one(self, tiny_trace):
+        assert sum(tiny_trace.breakdown().values()) == pytest.approx(1.0)
+
+    def test_breakdown_empty_trace_all_zero(self):
+        assert all(v == 0.0 for v in Trace.empty().breakdown().values())
+
+    def test_device_mix(self, tiny_trace):
+        mix = tiny_trace.device_mix()
+        assert mix[P] == 2
+        assert mix[CC] == 0

@@ -1,0 +1,97 @@
+"""Tests for the event/device vocabulary (repro.trace.events)."""
+
+import pytest
+
+from repro.trace import (
+    ALL_DEVICE_TYPES,
+    ALL_EVENT_TYPES,
+    DOMINANT_EVENTS,
+    LTE_TO_NR_EVENT,
+    NR_TO_LTE_EVENT,
+    DeviceType,
+    EventType,
+    NrEventType,
+    quantize_timestamp,
+)
+
+
+class TestEventType:
+    def test_six_primary_event_types(self):
+        assert len(ALL_EVENT_TYPES) == 6
+
+    def test_category1_members(self):
+        cat1 = {e for e in EventType if e.is_category1}
+        assert cat1 == {
+            EventType.ATCH,
+            EventType.DTCH,
+            EventType.SRV_REQ,
+            EventType.S1_CONN_REL,
+        }
+
+    def test_category2_members(self):
+        cat2 = {e for e in EventType if e.is_category2}
+        assert cat2 == {EventType.HO, EventType.TAU}
+
+    def test_categories_partition_event_space(self):
+        for event in EventType:
+            assert event.is_category1 != event.is_category2
+
+    def test_dominant_events_are_srv_req_and_release(self):
+        assert set(DOMINANT_EVENTS) == {EventType.SRV_REQ, EventType.S1_CONN_REL}
+
+    def test_values_are_stable_encoding(self):
+        # On-disk compatibility: these values must never change.
+        assert EventType.ATCH == 0
+        assert EventType.DTCH == 1
+        assert EventType.SRV_REQ == 2
+        assert EventType.S1_CONN_REL == 3
+        assert EventType.HO == 4
+        assert EventType.TAU == 5
+
+
+class TestNrMapping:
+    def test_mapping_covers_all_but_tau(self):
+        assert set(LTE_TO_NR_EVENT) == set(EventType) - {EventType.TAU}
+
+    def test_mapping_is_one_to_one(self):
+        assert len(set(LTE_TO_NR_EVENT.values())) == len(LTE_TO_NR_EVENT)
+
+    def test_inverse_mapping_roundtrips(self):
+        for lte, nr in LTE_TO_NR_EVENT.items():
+            assert NR_TO_LTE_EVENT[nr] == lte
+
+    def test_table2_names(self):
+        assert LTE_TO_NR_EVENT[EventType.ATCH] == NrEventType.REGISTER
+        assert LTE_TO_NR_EVENT[EventType.DTCH] == NrEventType.DEREGISTER
+        assert LTE_TO_NR_EVENT[EventType.SRV_REQ] == NrEventType.SRV_REQ
+        assert LTE_TO_NR_EVENT[EventType.S1_CONN_REL] == NrEventType.AN_REL
+        assert LTE_TO_NR_EVENT[EventType.HO] == NrEventType.HO
+
+    def test_integer_codes_align_across_generations(self):
+        for lte, nr in LTE_TO_NR_EVENT.items():
+            assert int(lte) == int(nr)
+
+
+class TestDeviceType:
+    def test_three_device_types(self):
+        assert len(ALL_DEVICE_TYPES) == 3
+
+    def test_short_names_match_paper(self):
+        assert DeviceType.PHONE.short_name == "P"
+        assert DeviceType.CONNECTED_CAR.short_name == "CC"
+        assert DeviceType.TABLET.short_name == "T"
+
+
+class TestQuantizeTimestamp:
+    def test_rounds_to_millisecond(self):
+        assert quantize_timestamp(1.23456) == pytest.approx(1.235)
+
+    def test_exact_millisecond_unchanged(self):
+        assert quantize_timestamp(5.001) == pytest.approx(5.001)
+
+    def test_zero(self):
+        assert quantize_timestamp(0.0) == 0.0
+
+    def test_idempotent(self):
+        once = quantize_timestamp(7.7777)
+        assert quantize_timestamp(once) == pytest.approx(once)

@@ -1,0 +1,93 @@
+"""Tests for trace serialization (repro.trace.io)."""
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    DeviceType,
+    EventType,
+    Trace,
+    read_csv,
+    read_npz,
+    write_csv,
+    write_npz,
+)
+
+from conftest import make_trace
+
+P = DeviceType.PHONE
+E = EventType
+
+
+@pytest.fixture()
+def sample():
+    return make_trace(
+        [
+            (1, 0.123, E.ATCH, P),
+            (1, 10.5, E.SRV_REQ, P),
+            (2, 3.004, E.HO, DeviceType.CONNECTED_CAR),
+        ]
+    )
+
+
+class TestCsv:
+    def test_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv(sample, path)
+        back = read_csv(path)
+        assert back == sample
+
+    def test_header_written(self, sample, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv(sample, path)
+        first_line = path.read_text().splitlines()[0]
+        assert first_line == "ue_id,time,event,device"
+
+    def test_uses_protocol_names(self, sample, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv(sample, path)
+        body = path.read_text()
+        assert "SRV_REQ" in body
+        assert "CONNECTED_CAR" in body
+
+    def test_millisecond_precision_preserved(self, sample, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv(sample, path)
+        back = read_csv(path)
+        assert back.times[0] == pytest.approx(0.123, abs=1e-9)
+
+    def test_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c,d\n")
+        with pytest.raises(ValueError, match="header"):
+            read_csv(path)
+
+    def test_rejects_short_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("ue_id,time,event,device\n1,2.0,ATCH\n")
+        with pytest.raises(ValueError, match="4 columns"):
+            read_csv(path)
+
+    def test_empty_trace_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_csv(Trace.empty(), path)
+        assert len(read_csv(path)) == 0
+
+
+class TestNpz:
+    def test_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "trace.npz"
+        write_npz(sample, path)
+        back = read_npz(path)
+        assert back == sample
+
+    def test_exact_float_preservation(self, sample, tmp_path):
+        path = tmp_path / "trace.npz"
+        write_npz(sample, path)
+        back = read_npz(path)
+        assert np.array_equal(back.times, sample.times)
+
+    def test_empty_trace_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        write_npz(Trace.empty(), path)
+        assert len(read_npz(path)) == 0

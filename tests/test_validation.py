@@ -1,0 +1,155 @@
+"""Tests for the validation metrics (repro.validation)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.statemachines import lte
+from repro.trace import DeviceType, EventType
+from repro.validation import (
+    BREAKDOWN_ROWS,
+    activity_split_ydistance,
+    breakdown_difference,
+    breakdown_with_states,
+    count_ydistance,
+    format_percent,
+    format_ratio,
+    format_table,
+    macro_comparison,
+    max_abs_breakdown_difference,
+    micro_comparison,
+    per_ue_counts,
+    sojourn_ydistance,
+)
+
+from conftest import make_trace
+
+E = EventType
+P = DeviceType.PHONE
+
+
+class TestBreakdownWithStates:
+    def test_eight_rows(self):
+        assert len(BREAKDOWN_ROWS) == 8
+
+    def test_fractions_sum_to_one(self, ground_truth_trace):
+        for dt in DeviceType:
+            bd = breakdown_with_states(ground_truth_trace, dt)
+            assert sum(bd.values()) == pytest.approx(1.0)
+
+    def test_ho_rows_split_by_state(self):
+        tr = make_trace(
+            [
+                (1, 1.0, E.SRV_REQ, P),
+                (1, 2.0, E.HO, P),
+                (1, 3.0, E.S1_CONN_REL, P),
+                (1, 4.0, E.HO, P),  # invalid but must be *counted* as IDLE
+            ]
+        )
+        bd = breakdown_with_states(tr, P)
+        assert bd["HO (CONN.)"] == pytest.approx(0.25)
+        assert bd["HO (IDLE)"] == pytest.approx(0.25)
+
+    def test_empty_device(self, tiny_trace):
+        bd = breakdown_with_states(tiny_trace, DeviceType.TABLET)
+        assert all(v == 0.0 for v in bd.values())
+
+    def test_difference_is_signed(self, ground_truth_trace, synthesized_trace):
+        diff = breakdown_difference(ground_truth_trace, synthesized_trace, P)
+        assert set(diff) == set(BREAKDOWN_ROWS)
+        # Differences must cancel: both breakdowns sum to 1.
+        assert sum(diff.values()) == pytest.approx(0.0, abs=1e-9)
+
+    def test_max_abs_difference(self, ground_truth_trace, synthesized_trace):
+        value = max_abs_breakdown_difference(
+            ground_truth_trace, synthesized_trace, P
+        )
+        diffs = breakdown_difference(ground_truth_trace, synthesized_trace, P)
+        assert value == max(abs(v) for v in diffs.values())
+
+    def test_macro_comparison_structure(self, ground_truth_trace, synthesized_trace):
+        table = macro_comparison(
+            ground_truth_trace, {"ours": synthesized_trace}, [P]
+        )
+        assert set(table) == {P}
+        assert set(table[P]) == {"real", "ours"}
+
+
+class TestPerUeCounts:
+    def test_zero_padding(self):
+        tr = make_trace([(1, 1.0, E.SRV_REQ, P)])
+        counts = per_ue_counts(tr, P, E.SRV_REQ, num_ues=4)
+        assert list(counts) == [0.0, 0.0, 0.0, 1.0]
+
+    def test_padding_smaller_than_present_rejected(self):
+        tr = make_trace([(1, 1.0, E.SRV_REQ, P), (2, 2.0, E.SRV_REQ, P)])
+        with pytest.raises(ValueError, match="smaller"):
+            per_ue_counts(tr, P, E.SRV_REQ, num_ues=1)
+
+
+class TestYdistances:
+    def test_identical_traces_zero_distance(self, ground_truth_trace):
+        assert (
+            count_ydistance(
+                ground_truth_trace, ground_truth_trace, P, E.SRV_REQ
+            )
+            == 0.0
+        )
+
+    def test_count_ydistance_range(self, ground_truth_trace, synthesized_trace):
+        d = count_ydistance(
+            ground_truth_trace.window(3600.0, 7200.0),
+            synthesized_trace,
+            P,
+            E.SRV_REQ,
+        )
+        assert 0.0 <= d <= 1.0
+
+    def test_sojourn_ydistance_identical(self, ground_truth_trace):
+        assert (
+            sojourn_ydistance(
+                ground_truth_trace, ground_truth_trace, P, lte.CONNECTED
+            )
+            == 0.0
+        )
+
+    def test_sojourn_ydistance_missing_state(self, tiny_trace):
+        silent = make_trace([(9, 1.0, E.ATCH, P)])
+        with pytest.raises(ValueError, match="sojourns"):
+            sojourn_ydistance(tiny_trace, silent, P, lte.CONNECTED)
+
+    def test_activity_split(self, ground_truth_trace, synthesized_trace):
+        inactive, active = activity_split_ydistance(
+            ground_truth_trace.window(3600.0, 7200.0),
+            synthesized_trace,
+            P,
+            E.SRV_REQ,
+        )
+        for v in (inactive, active):
+            assert math.isnan(v) or 0.0 <= v <= 1.0
+
+    def test_micro_comparison_keys(self, ground_truth_trace, synthesized_trace):
+        metrics = micro_comparison(
+            ground_truth_trace.window(3600.0, 7200.0), synthesized_trace, P
+        )
+        assert set(metrics) == {"SRV_REQ", "S1_CONN_REL", "CONNECTED", "IDLE"}
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"], [["a", 1], ["long-name", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2]
+        assert all(len(line) > 0 for line in lines)
+
+    def test_format_percent(self):
+        assert format_percent(0.123) == "12.3%"
+        assert format_percent(-0.05, signed=True) == "-5.0%"
+        assert format_percent(0.05, signed=True) == "+5.0%"
+
+    def test_format_ratio(self):
+        assert format_ratio(4.768) == "4.77x"
