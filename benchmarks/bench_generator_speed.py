@@ -10,7 +10,7 @@ well under a second and phones (the busiest devices) cost the most.
 
 import time
 
-from repro.generator import TrafficGenerator
+from repro.generator import ENGINES, TrafficGenerator
 from repro.trace import DeviceType
 from repro.validation import format_table
 
@@ -18,9 +18,12 @@ from conftest import write_result
 
 UES_PER_DEVICE = 200
 
+PAPER_TIMES = {"PHONE": "1.46 s", "CONNECTED_CAR": "0.68 s", "TABLET": "0.55 s"}
+
 
 def test_generator_per_ue_speed(benchmark, method_models, busy_hour):
     generator = TrafficGenerator(method_models["ours"])
+    generator.generate(10, start_hour=busy_hour, num_hours=1, seed=1)
 
     def _generate_phones():
         return generator.generate(
@@ -35,18 +38,28 @@ def test_generator_per_ue_speed(benchmark, method_models, busy_hour):
 
     rows = []
     for dt in DeviceType:
-        start = time.perf_counter()
-        tr = generator.generate(
-            {dt: UES_PER_DEVICE}, start_hour=busy_hour, num_hours=1, seed=3
-        )
-        elapsed = time.perf_counter() - start
-        per_ue = elapsed / UES_PER_DEVICE
+        per_engine = {}
+        events = 0
+        for engine in ENGINES:
+            start = time.perf_counter()
+            tr = generator.generate(
+                {dt: UES_PER_DEVICE}, start_hour=busy_hour, num_hours=1,
+                seed=3, engine=engine,
+            )
+            per_engine[engine] = time.perf_counter() - start
+            events = len(tr)
         rows.append(
-            [dt.name, f"{per_ue * 1e3:.2f} ms", f"{len(tr):,}",
-             {"PHONE": "1.46 s", "CONNECTED_CAR": "0.68 s", "TABLET": "0.55 s"}[dt.name]]
+            [
+                dt.name,
+                f"{per_engine['compiled'] / UES_PER_DEVICE * 1e3:.2f} ms",
+                f"{per_engine['reference'] / UES_PER_DEVICE * 1e3:.2f} ms",
+                f"{events:,}",
+                PAPER_TIMES[dt.name],
+            ]
         )
     text = format_table(
-        ["Device", "per-UE-hour (ours)", "events", "per-UE-hour (paper)"],
+        ["Device", "per-UE-hour (compiled)", "per-UE-hour (reference)",
+         "events", "per-UE-hour (paper)"],
         rows,
         title="Generator speed: one-hour trace synthesis per UE",
     )

@@ -1,13 +1,18 @@
 """Trace synthesis from fitted model sets (§7)."""
 
+from .compiled import CompiledModelSet, CompiledPopulation, compile_model_set
 from .parallel import generate_parallel
 from .streaming import stream_events, stream_to_trace
-from .traffgen import TrafficGenerator
+from .traffgen import ENGINES, TrafficGenerator
 from .ue_generator import MAX_EVENTS_PER_HOUR, UeSession, generate_ue_events
 
 __all__ = [
+    "ENGINES",
     "MAX_EVENTS_PER_HOUR",
+    "CompiledModelSet",
+    "CompiledPopulation",
     "TrafficGenerator",
+    "compile_model_set",
     "generate_parallel",
     "UeSession",
     "generate_ue_events",

@@ -1,0 +1,996 @@
+"""Compiled vectorized generation engine (the ``engine="compiled"`` path).
+
+The reference generator walks one Python-level :meth:`SemiMarkovChain.step`
+per event: it re-reads the edge list, draws the edge with ``rng`` calls and
+the dwell with a scalar ``np.interp`` — tens of microseconds of interpreter
+work per event.  This module lowers every (device, hour) model of a
+:class:`~repro.model.model_set.ModelSet` into flat NumPy arrays once
+(:func:`compile_model_set`, memoized per model set) and then advances *all
+active UEs of a device-hour together*, so the per-event cost is a few
+vectorized array operations shared by the whole cohort:
+
+- **Merged edge table (CSR)** — all clusters of an hour model share one
+  flat table: cluster ``c``'s state ``s`` becomes merged code ``c * S + s``
+  (``S`` = number of states in the universe), so UEs in *different
+  clusters and different states* advance in a single batch.  Edge choice
+  is one ``searchsorted`` over the composite keys ``merged_code +
+  cum_prob`` queried at ``merged_code + u``.
+- **Quantile-knot matrix** — every edge's sojourn distribution is lowered
+  via :meth:`Distribution.compile_sojourn` to inverse-CDF knots laid out in
+  one flat array keyed by ``edge_index + prob``; a second composite
+  ``searchsorted`` plus linear interpolation reproduces
+  ``EmpiricalCDF.ppf``, and exponential edges use the closed-form inverse
+  transform.  First-event types and offsets use the same trick keyed by
+  cluster index.
+- **Counter-based randomness** — every uniform is a pure function of
+  ``(seed, ue_index, hour, purpose, step)`` evaluated with a vectorized
+  Philox-4x64-10 implementation (bit-validated against
+  ``np.random.Philox``).  Step uniforms are drawn in blocks of
+  ``_STEP_BLOCK`` rounds — one Philox call yields four lanes per counter,
+  i.e. two (edge, dwell) rounds — so the fixed cost of a Philox invocation
+  is amortized over the whole block.  Because no draw depends on cohort
+  composition, serial, process-parallel and streaming production are
+  bit-identical by construction, and per-worker setup is O(chunk), not
+  O(population).
+
+The engine is statistically equivalent to the reference path (same fitted
+edge probabilities, identical inverse-transform dwell curves, same
+first-event and overlay models) but does not reproduce its RNG stream;
+``engine="reference"`` remains the oracle.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..model.model_set import ClusterModel, HourModel, ModelSet
+from ..model.semi_markov import MIN_SOJOURN
+from ..statemachines.replay import _canonical_source_for
+from ..trace.events import (
+    SECONDS_PER_HOUR,
+    DeviceType,
+    EventType,
+    quantize_times,
+)
+from . import ue_generator
+
+__all__ = [
+    "CompiledModelSet",
+    "CompiledPopulation",
+    "compile_model_set",
+    "philox4x64",
+]
+
+# ---------------------------------------------------------------------------
+# Vectorized Philox-4x64-10 (Random123 / np.random.Philox constants)
+# ---------------------------------------------------------------------------
+
+_M32 = np.uint64(0xFFFFFFFF)
+_S32 = np.uint64(32)
+_S11 = np.uint64(11)
+_PHILOX_M0 = np.uint64(0xD2E7470EE14C6C93)
+_PHILOX_M1 = np.uint64(0xCA5A826395121157)
+_PHILOX_W0 = np.uint64(0x9E3779B97F4A7C15)
+_PHILOX_W1 = np.uint64(0xBB67AE8584CAA73B)
+_INV_2_53 = float(2.0 ** -53)
+
+#: Rounds of step uniforms drawn per Philox block.  Each counter yields
+#: four lanes = two (edge, dwell) rounds, so a block is one Philox call
+#: over ``_STEP_BLOCK / 2`` counters per UE.  The (UE, round) → uniform
+#: mapping is fixed (counter ``round >> 1``, lane pair by round parity),
+#: so outputs do not depend on how the population is partitioned.
+_STEP_BLOCK = 32
+
+#: When a cohort shrinks to this many UEs at a block boundary, the
+#: survivors are finished one at a time in a scalar loop (see
+#: :meth:`CompiledPopulation._drain_ue`): a handful of long-running UEs
+#: would otherwise keep paying whole-cohort vector overhead per round.
+#: The scalar path evaluates the same IEEE-754 expressions on the same
+#: Philox uniforms, so its events are bit-identical to the vector path's
+#: — the threshold affects speed only, never output.
+_DRAIN_THRESHOLD = 16
+
+#: Rounds of step uniforms drawn per Philox call while draining one UE.
+_DRAIN_BLOCK = 256
+
+#: Domain-separation codes for the ``c2`` counter word, so every kind of
+#: decision a UE makes consumes an independent part of the Philox domain.
+_P_KEY = np.uint64(0)       #: per-UE key derivation from the root key
+_P_PERSONA = np.uint64(1)   #: persona draw (once per UE)
+_P_CLUSTER = np.uint64(2)   #: cluster draw for personas without assignment
+_P_FIRST = np.uint64(3)     #: first-event (active / type / offset) draws
+_P_STEP = np.uint64(4)      #: chain stepping (edge + dwell per round)
+_P_OVERLAY_N = np.uint64(5)  #: overlay Poisson count
+_P_OVERLAY_T = np.uint64(6)  #: overlay event times
+
+
+def _mulhilo(a: np.ndarray, b: np.uint64) -> Tuple[np.ndarray, np.ndarray]:
+    """(high, low) 64-bit halves of the 128-bit product ``a * b``."""
+    lo = a * b
+    a0 = a & _M32
+    a1 = a >> _S32
+    b0 = b & _M32
+    b1 = b >> _S32
+    t = a1 * b0 + ((a0 * b0) >> _S32)
+    tl = (t & _M32) + a0 * b1
+    hi = a1 * b1 + (t >> _S32) + (tl >> _S32)
+    return hi, lo
+
+
+def philox4x64(
+    c0, c1, c2, c3, k0, k1
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """One Philox-4x64-10 block, vectorized over the counter/key arrays.
+
+    Matches ``np.random.Philox(counter, key).random_raw(4)`` for the
+    counter *after* numpy's pre-increment (numpy bumps the counter before
+    producing its first block).
+    """
+    c0 = np.asarray(c0, dtype=np.uint64)
+    c1 = np.asarray(c1, dtype=np.uint64)
+    c2 = np.asarray(c2, dtype=np.uint64)
+    c3 = np.asarray(c3, dtype=np.uint64)
+    k0 = np.asarray(k0, dtype=np.uint64)
+    k1 = np.asarray(k1, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        for _ in range(10):
+            hi0, lo0 = _mulhilo(c0, _PHILOX_M0)
+            hi1, lo1 = _mulhilo(c2, _PHILOX_M1)
+            c0, c1, c2, c3 = hi1 ^ c1 ^ k0, lo1, hi0 ^ c3 ^ k1, lo0
+            k0 = k0 + _PHILOX_W0
+            k1 = k1 + _PHILOX_W1
+    return c0, c1, c2, c3
+
+
+def _to_unit(x: np.ndarray) -> np.ndarray:
+    """Map uint64 words to float64 uniforms in ``[0, 1)`` (53-bit)."""
+    return (x >> _S11).astype(np.float64) * _INV_2_53
+
+
+def _uniforms(
+    k0: np.ndarray,
+    k1: np.ndarray,
+    c0,
+    c1,
+    purpose: np.uint64,
+    c3=np.uint64(0),
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Four independent uniforms per lane for one (purpose, step) slot."""
+    x0, x1, x2, x3 = philox4x64(c0, c1, purpose, c3, k0, k1)
+    return _to_unit(x0), _to_unit(x1), _to_unit(x2), _to_unit(x3)
+
+
+def _poisson_from_uniform(u: np.ndarray, lam: float) -> np.ndarray:
+    """Poisson counts by CDF inversion of pre-drawn uniforms."""
+    term = math.exp(-lam)
+    if term <= 0.0:
+        raise ValueError(f"overlay rate too large to invert (lambda={lam})")
+    n = np.zeros(u.shape, dtype=np.int64)
+    terms = np.full(u.shape, term)
+    cdf = terms.copy()
+    cap = int(lam + 12.0 * math.sqrt(lam + 1.0) + 64)
+    for k in range(1, cap + 1):
+        active = u >= cdf
+        if not active.any():
+            break
+        terms *= lam / k
+        cdf += terms
+        n[active] += 1
+    return n
+
+
+def _pad_knots(
+    probs: np.ndarray, values: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Guarantee at least two knots per inverse-CDF segment.
+
+    A single-knot empirical CDF (one fitted sample) evaluates to that
+    value for *every* ``u`` under ``np.interp``; two equal-valued knots
+    interpolate to exactly the same constant, so padding preserves the
+    reference semantics while letting :func:`_interp_knots` assume every
+    segment has an interior.
+    """
+    if len(probs) == 1:
+        v = float(values[0])
+        return np.asarray([0.25, 0.75]), np.asarray([v, v])
+    return np.asarray(probs, dtype=np.float64), np.asarray(values, np.float64)
+
+
+def _interp_knots(
+    kb: np.ndarray,
+    u: np.ndarray,
+    key: np.ndarray,
+    ptr: np.ndarray,
+    kp: np.ndarray,
+    kv: np.ndarray,
+) -> np.ndarray:
+    """Batched ``np.interp(u, probs, values)`` over heterogeneous segments.
+
+    ``kb`` selects each element's knot segment (``ptr[kb]:ptr[kb+1]`` in
+    the flat ``kp``/``kv`` arrays); ``key`` holds the composite keys
+    ``segment_index + prob``.  Clamps at segment ends reproduce
+    ``np.interp``'s behaviour outside the knot range.  Every segment must
+    have at least two knots (see :func:`_pad_knots`).
+    """
+    lo = ptr[kb]
+    hi = ptr[kb + 1]
+    pos = np.searchsorted(key, kb + u)
+    pc = np.minimum(np.maximum(pos, lo + 1), hi - 1)
+    p0 = kp[pc - 1]
+    p1 = kp[pc]
+    v0 = kv[pc - 1]
+    v1 = kv[pc]
+    uu = np.minimum(np.maximum(u, p0), p1)
+    return v0 + (uu - p0) * (v1 - v0) / (p1 - p0)
+
+
+# ---------------------------------------------------------------------------
+# Compiled model tables
+# ---------------------------------------------------------------------------
+
+
+class CompiledCluster:
+    """One cluster model lowered to flat arrays (see module docstring)."""
+
+    __slots__ = (
+        "state_deg",
+        "sel_key",
+        "edge_event",
+        "edge_target",
+        "edge_kind",
+        "edge_rate",
+        "edge_knot_ptr",
+        "knot_key",
+        "knot_p",
+        "knot_v",
+        "p_active",
+        "fe_event",
+        "fe_cum",
+        "fe_state",
+        "fe_off_p",
+        "fe_off_v",
+        "overlay",
+    )
+
+    def __init__(
+        self,
+        cluster: ClusterModel,
+        state_code: Dict[str, int],
+        canonical_next: np.ndarray,
+    ) -> None:
+        table = cluster.chain.edge_table(state_code)
+        self.state_deg = table["state_deg"]
+        self.sel_key = table["sel_key"]
+        self.edge_event = table["edge_event"]
+        self.edge_target = table["edge_target"]
+
+        num_edges = len(self.sel_key)
+        self.edge_kind = np.zeros(num_edges, dtype=np.int8)
+        self.edge_rate = np.ones(num_edges, dtype=np.float64)
+        ptr = np.zeros(num_edges + 1, dtype=np.int64)
+        knot_key: List[np.ndarray] = []
+        knot_p: List[np.ndarray] = []
+        knot_v: List[np.ndarray] = []
+        for e, sojourn in enumerate(table["edge_sojourn"]):
+            lowered = sojourn.compile_sojourn()
+            if lowered[0] == "empirical":
+                probs, values = _pad_knots(lowered[1], lowered[2])
+                knot_key.append(e + probs)
+                knot_p.append(probs)
+                knot_v.append(values)
+                ptr[e + 1] = ptr[e] + len(probs)
+            else:
+                self.edge_kind[e] = 1
+                self.edge_rate[e] = lowered[1]
+                ptr[e + 1] = ptr[e]
+        self.edge_knot_ptr = ptr
+        self.knot_key = (
+            np.concatenate(knot_key) if knot_key else np.empty(0, np.float64)
+        )
+        self.knot_p = (
+            np.concatenate(knot_p) if knot_p else np.empty(0, np.float64)
+        )
+        self.knot_v = (
+            np.concatenate(knot_v) if knot_v else np.empty(0, np.float64)
+        )
+
+        first = cluster.first_event
+        events, cum = first.event_table()
+        self.p_active = float(first.p_active) if len(events) else 0.0
+        self.fe_event = np.asarray([int(e) for e in events], dtype=np.int16)
+        self.fe_cum = np.asarray(cum, dtype=np.float64)
+        self.fe_state = np.asarray(
+            [canonical_next[int(e)] for e in events], dtype=np.int32
+        )
+        if np.any(self.fe_state < 0):
+            bad = [e.name for e in events if canonical_next[int(e)] < 0]
+            raise ValueError(
+                f"first-event types {bad} have no canonical source state"
+            )
+        off_kind, off_p, off_v = first.offset.compile_sojourn()
+        assert off_kind == "empirical"
+        self.fe_off_p, self.fe_off_v = _pad_knots(off_p, off_v)
+
+        self.overlay = sorted(
+            (int(event), float(rate))
+            for event, rate in cluster.overlay_rates.items()
+            if rate > 0
+        )
+
+
+class CompiledHourModel:
+    """One (device, hour) model with all clusters merged into flat tables.
+
+    Cluster ``c``'s state ``s`` lives at merged code ``c * S + s``, so one
+    ``searchsorted`` per round steps every active UE of the hour at once,
+    whatever cluster or state it is in.  First-event tables use the same
+    composite-key layout indexed by cluster.
+    """
+
+    __slots__ = (
+        "clusters",
+        "assign_keys",
+        "assign_vals",
+        "weights_cum",
+        "S",
+        "state_deg",
+        "sel_key",
+        "edge_event",
+        "edge_target",
+        "edge_kind",
+        "edge_rate",
+        "has_exp",
+        "edge_knot_ptr",
+        "knot_key",
+        "knot_p",
+        "knot_v",
+        "p_active",
+        "fe_key",
+        "fe_event",
+        "fe_state",
+        "foff_key",
+        "foff_ptr",
+        "foff_p",
+        "foff_v",
+        "overlay_clusters",
+        "_scalar",
+    )
+
+    def __init__(
+        self,
+        hour_model: HourModel,
+        state_code: Dict[str, int],
+        canonical_next: np.ndarray,
+    ) -> None:
+        self.clusters = [
+            CompiledCluster(c, state_code, canonical_next)
+            for c in hour_model.clusters
+        ]
+        items = sorted(hour_model.assignment.items())
+        self.assign_keys = np.asarray([k for k, _ in items], dtype=np.int64)
+        self.assign_vals = np.asarray([v for _, v in items], dtype=np.int32)
+        cum = np.cumsum(hour_model.weights())
+        if cum.size:
+            cum[-1] = 1.0
+        self.weights_cum = cum
+
+        S = len(state_code)
+        self.S = S
+        sd, sk, ev, tg, kind, rate = [], [], [], [], [], []
+        kptr, kk, kp, kv = [], [], [], []
+        pa, fek, fee, fes = [], [], [], []
+        fok, fop, fov, folen = [], [], [], []
+        edge_off = 0
+        knot_off = 0
+        for c, cc in enumerate(self.clusters):
+            base = c * S
+            sd.append(cc.state_deg)
+            sk.append(cc.sel_key + base)
+            ev.append(cc.edge_event)
+            tg.append(cc.edge_target.astype(np.int64) + base)
+            kind.append(cc.edge_kind)
+            rate.append(cc.edge_rate)
+            kptr.append(cc.edge_knot_ptr[:-1] + knot_off)
+            kk.append(cc.knot_key + edge_off)
+            kp.append(cc.knot_p)
+            kv.append(cc.knot_v)
+            edge_off += cc.sel_key.size
+            knot_off += cc.knot_key.size
+            pa.append(cc.p_active)
+            fek.append(c + cc.fe_cum)
+            fee.append(cc.fe_event)
+            fes.append(cc.fe_state)
+            fok.append(c + cc.fe_off_p)
+            fop.append(cc.fe_off_p)
+            fov.append(cc.fe_off_v)
+            folen.append(cc.fe_off_p.size)
+        kptr.append(np.asarray([knot_off], dtype=np.int64))
+
+        def cat(parts, dtype):
+            return (
+                np.concatenate(parts)
+                if parts
+                else np.empty(0, dtype=dtype)
+            )
+
+        self.state_deg = cat(sd, np.int64)
+        self.sel_key = cat(sk, np.float64)
+        self.edge_event = cat(ev, np.int16)
+        self.edge_target = cat(tg, np.int64)
+        self.edge_kind = cat(kind, np.int8)
+        self.edge_rate = cat(rate, np.float64)
+        self.has_exp = bool((self.edge_kind == 1).any())
+        self.edge_knot_ptr = cat(kptr, np.int64)
+        self.knot_key = cat(kk, np.float64)
+        self.knot_p = cat(kp, np.float64)
+        self.knot_v = cat(kv, np.float64)
+        self.p_active = np.asarray(pa, dtype=np.float64)
+        self.fe_key = cat(fek, np.float64)
+        self.fe_event = cat(fee, np.int16)
+        self.fe_state = cat(fes, np.int32)
+        self.foff_key = cat(fok, np.float64)
+        self.foff_p = cat(fop, np.float64)
+        self.foff_v = cat(fov, np.float64)
+        self.foff_ptr = np.concatenate(
+            [[0], np.cumsum(np.asarray(folen, dtype=np.int64))]
+        )
+        self.overlay_clusters = [
+            c for c, cc in enumerate(self.clusters) if cc.overlay
+        ]
+        self._scalar: Optional[tuple] = None
+
+    def scalar_tables(self) -> tuple:
+        """The merged tables as Python lists, for the scalar drain loop.
+
+        Built lazily on first use; ``bisect`` on a list plus plain float
+        arithmetic is several times faster per element than NumPy calls
+        on singleton arrays.
+        """
+        if self._scalar is None:
+            self._scalar = (
+                self.sel_key.tolist(),
+                self.state_deg.tolist(),
+                self.edge_event.tolist(),
+                self.edge_target.tolist(),
+                self.edge_kind.tolist(),
+                self.edge_rate.tolist(),
+                self.edge_knot_ptr.tolist(),
+                self.knot_key.tolist(),
+                self.knot_p.tolist(),
+                self.knot_v.tolist(),
+                self.has_exp,
+            )
+        return self._scalar
+
+    def clusters_for(
+        self,
+        personas: np.ndarray,
+        k0: np.ndarray,
+        k1: np.ndarray,
+        hour_idx: int,
+    ) -> np.ndarray:
+        """Cluster code per UE: assignment lookup, weighted draw if unknown."""
+        if self.assign_keys.size:
+            pos = np.searchsorted(self.assign_keys, personas)
+            pos_c = np.minimum(pos, self.assign_keys.size - 1)
+            known = self.assign_keys[pos_c] == personas
+            cl = np.where(known, self.assign_vals[pos_c], -1).astype(np.int64)
+        else:
+            cl = np.full(personas.shape, -1, dtype=np.int64)
+        unknown = cl < 0
+        if unknown.any():
+            u = _uniforms(
+                k0[unknown], k1[unknown], 0, hour_idx, _P_CLUSTER
+            )[0]
+            draw = np.searchsorted(self.weights_cum, u, side="right")
+            cl[unknown] = np.minimum(draw, len(self.clusters) - 1)
+        return cl
+
+
+class CompiledModelSet:
+    """A :class:`ModelSet` lowered for batched generation."""
+
+    __slots__ = ("state_names", "canonical_next", "hours", "device_ues")
+
+    def __init__(self, model_set: ModelSet) -> None:
+        machine = model_set.machine()
+        names = set(machine.states)
+        for hours in model_set.models.values():
+            for hm in hours.values():
+                for cluster in hm.clusters:
+                    for state, sm in cluster.chain.states.items():
+                        names.add(state)
+                        names.update(e.target for e in sm.edges)
+        self.state_names = sorted(names)
+        state_code = {s: i for i, s in enumerate(self.state_names)}
+
+        num_events = max(int(e) for e in EventType) + 1
+        canonical_next = np.full(num_events, -1, dtype=np.int32)
+        for event in EventType:
+            try:
+                source = _canonical_source_for(machine, event)
+            except ValueError:
+                continue
+            canonical_next[int(event)] = state_code[
+                machine.next_state(source, event)
+            ]
+        self.canonical_next = canonical_next
+
+        self.hours: Dict[int, Dict[int, CompiledHourModel]] = {}
+        for device_type, hour_models in model_set.models.items():
+            self.hours[int(device_type)] = {
+                hour: CompiledHourModel(hm, state_code, canonical_next)
+                for hour, hm in hour_models.items()
+            }
+        self.device_ues = {
+            int(dt): np.asarray(ues, dtype=np.int64)
+            for dt, ues in model_set.device_ues.items()
+        }
+
+
+def compile_model_set(model_set: ModelSet) -> CompiledModelSet:
+    """Lower ``model_set``, memoizing the result on the instance."""
+    cached = getattr(model_set, "_compiled_cache", None)
+    if cached is None:
+        cached = CompiledModelSet(model_set)
+        model_set._compiled_cache = cached
+    return cached
+
+
+# ---------------------------------------------------------------------------
+# Batched population stepping
+# ---------------------------------------------------------------------------
+
+
+class CompiledPopulation:
+    """A batch of UEs advanced one hour at a time by the compiled engine.
+
+    ``ue_indices`` are the UEs' positions in the whole generation order —
+    they parameterize each UE's random substream, so any partition of the
+    population (serial, per-chunk parallel, streaming) produces exactly
+    the same events for a given UE.
+    """
+
+    def __init__(
+        self,
+        model_set: ModelSet,
+        device_codes: np.ndarray,
+        ue_indices: np.ndarray,
+        *,
+        seed: int,
+        start_hour: int,
+    ) -> None:
+        self.compiled = compile_model_set(model_set)
+        self.device_codes = np.asarray(device_codes, dtype=np.int8)
+        self.start_hour = int(start_hour)
+        n = len(self.device_codes)
+
+        root = np.random.SeedSequence(seed).generate_state(2, np.uint64)
+        idx = np.asarray(ue_indices, dtype=np.uint64)
+        k = philox4x64(idx, 0, _P_KEY, 0, root[0], root[1])
+        self.k0, self.k1 = k[0], k[1]
+
+        self.persona = np.zeros(n, dtype=np.int64)
+        self._device_rows: Dict[int, np.ndarray] = {}
+        u_persona = _uniforms(self.k0, self.k1, 0, 0, _P_PERSONA)[0]
+        for code in np.unique(self.device_codes):
+            rows = np.flatnonzero(self.device_codes == code)
+            self._device_rows[int(code)] = rows
+            personas = self.compiled.device_ues.get(int(code))
+            if personas is None or personas.size == 0:
+                raise ValueError(
+                    f"no fitted model for device type {DeviceType(int(code)).name}"
+                )
+            pick = np.minimum(
+                (u_persona[rows] * personas.size).astype(np.int64),
+                personas.size - 1,
+            )
+            self.persona[rows] = personas[pick]
+
+        #: Chain state code per UE; -1 = no state yet (first-event model).
+        self.state = np.full(n, -1, dtype=np.int32)
+        self._next_hour_idx = 0
+
+    # ------------------------------------------------------------------
+    def advance_hour(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Generate the next hour for all UEs.
+
+        Returns ``(rows, times, events)`` sorted by ``(time, row,
+        event)``, where ``rows`` index into this population.
+        """
+        hour_idx = self._next_hour_idx
+        self._next_hour_idx += 1
+        hour = (self.start_hour + hour_idx) % 24
+        hour_start = hour_idx * SECONDS_PER_HOUR
+
+        out_rows: List[np.ndarray] = []
+        out_times: List[np.ndarray] = []
+        out_events: List[np.ndarray] = []
+        for code, rows in self._device_rows.items():
+            chm = self.compiled.hours.get(code, {}).get(hour)
+            if chm is None:
+                continue  # unfitted hour-of-day: silent, state kept
+            self._advance_device(
+                chm, rows, hour_idx, hour_start, out_rows, out_times, out_events
+            )
+
+        if not out_rows:
+            empty = np.empty(0)
+            return empty.astype(np.int64), empty, empty.astype(np.int16)
+        rows_arr = np.concatenate(out_rows)
+        times_arr = quantize_times(np.concatenate(out_times))
+        events_arr = np.concatenate(out_events)
+        order = np.lexsort((events_arr, rows_arr, times_arr))
+        return rows_arr[order], times_arr[order], events_arr[order]
+
+    # ------------------------------------------------------------------
+    def _advance_device(
+        self,
+        chm: CompiledHourModel,
+        rows: np.ndarray,
+        hour_idx: int,
+        hour_start: float,
+        out_rows: List[np.ndarray],
+        out_times: List[np.ndarray],
+        out_events: List[np.ndarray],
+    ) -> None:
+        """Advance every UE of one device-hour together (all clusters)."""
+        S = chm.S
+        n = rows.size
+        k0 = self.k0[rows]
+        k1 = self.k1[rows]
+        cl = chm.clusters_for(self.persona[rows], k0, k1, hour_idx)
+        stl = self.state[rows].astype(np.int64)
+        t = np.full(n, float(hour_start))
+        live = stl >= 0
+
+        # -- first event (UEs with no chain state yet) ------------------
+        fresh = np.flatnonzero(~live)
+        if fresh.size:
+            u0, u1, u2, _ = _uniforms(
+                k0[fresh], k1[fresh], 0, hour_idx, _P_FIRST
+            )
+            awake_m = u0 < chm.p_active[cl[fresh]]
+            aw = fresh[awake_m]
+            if aw.size:
+                claw = cl[aw]
+                fi = np.searchsorted(
+                    chm.fe_key, claw + u1[awake_m], side="right"
+                )
+                offset = _interp_knots(
+                    claw,
+                    u2[awake_m],
+                    chm.foff_key,
+                    chm.foff_ptr,
+                    chm.foff_p,
+                    chm.foff_v,
+                )
+                offset = np.clip(offset, 0.0, SECONDS_PER_HOUR - 1e-3)
+                t0 = hour_start + offset
+                out_rows.append(rows[aw])
+                out_times.append(t0)
+                out_events.append(chm.fe_event[fi])
+                stl[aw] = chm.fe_state[fi]
+                t[aw] = t0
+                live[aw] = True
+
+        # -- batched chain stepping over the merged code space ----------
+        work = np.flatnonzero(live)
+        acoh = rows[work]
+        ast = stl[work] + cl[work] * S
+        at = t[work]
+        ak0 = k0[work]
+        ak1 = k1[work]
+        aemit = np.zeros(work.size, dtype=np.int64)
+
+        deg0 = chm.state_deg[ast] == 0
+        if deg0.any():
+            self.state[acoh[deg0]] = ast[deg0] % S  # absorbing on entry
+            keep = ~deg0
+            acoh, ast, at = acoh[keep], ast[keep], at[keep]
+            ak0, ak1, aemit = ak0[keep], ak1[keep], aemit[keep]
+
+        max_events = ue_generator.MAX_EVENTS_PER_HOUR
+        hour_end = hour_start + SECONDS_PER_HOUR
+        r = 0
+        abr = ue_blk = ud_blk = None
+        while acoh.size:
+            col = r & (_STEP_BLOCK - 1)
+            if col == 0:
+                if acoh.size <= _DRAIN_THRESHOLD:
+                    for i in range(acoh.size):
+                        self._drain_ue(
+                            chm,
+                            int(acoh[i]),
+                            int(ast[i]),
+                            float(at[i]),
+                            int(aemit[i]),
+                            ak0[i],
+                            ak1[i],
+                            hour_idx,
+                            hour_end,
+                            max_events,
+                            r,
+                            out_rows,
+                            out_times,
+                            out_events,
+                        )
+                    break
+                c0 = np.uint64(r >> 1) + np.arange(
+                    _STEP_BLOCK >> 1, dtype=np.uint64
+                )
+                x0, x1, x2, x3 = philox4x64(
+                    c0[None, :], hour_idx, _P_STEP, 0,
+                    ak0[:, None], ak1[:, None],
+                )
+                ue_blk = np.empty((acoh.size, _STEP_BLOCK))
+                ud_blk = np.empty((acoh.size, _STEP_BLOCK))
+                ue_blk[:, 0::2] = _to_unit(x0)
+                ud_blk[:, 0::2] = _to_unit(x1)
+                ue_blk[:, 1::2] = _to_unit(x2)
+                ud_blk[:, 1::2] = _to_unit(x3)
+                abr = np.arange(acoh.size)
+            u_edge = ue_blk[abr, col]
+            u_dwell = ud_blk[abr, col]
+
+            e = np.searchsorted(chm.sel_key, ast + u_edge, side="right")
+            if chm.has_exp:
+                dwell = np.empty(e.size)
+                emp = chm.edge_kind[e] == 0
+                if emp.any():
+                    dwell[emp] = _interp_knots(
+                        e[emp], u_dwell[emp], chm.knot_key,
+                        chm.edge_knot_ptr, chm.knot_p, chm.knot_v,
+                    )
+                ex = ~emp
+                if ex.any():
+                    dwell[ex] = -np.log1p(-u_dwell[ex]) / chm.edge_rate[e[ex]]
+            else:
+                dwell = _interp_knots(
+                    e, u_dwell, chm.knot_key,
+                    chm.edge_knot_ptr, chm.knot_p, chm.knot_v,
+                )
+            t_next = at + np.maximum(dwell, MIN_SOJOURN)
+
+            cross = t_next >= hour_end
+            go = ~cross
+            tgt = chm.edge_target[e]
+            if cross.any():
+                # hour boundary: the pending event is dropped, the UE
+                # keeps its pre-step state for the next hour.
+                self.state[acoh[cross]] = ast[cross] % S
+                out_rows.append(acoh[go])
+                out_times.append(t_next[go])
+                out_events.append(chm.edge_event[e[go]])
+            else:
+                out_rows.append(acoh)
+                out_times.append(t_next)
+                out_events.append(chm.edge_event[e])
+            aemit += 1
+            # retire emitters whose new state is absorbing or who hit
+            # the per-hour safety cap; both keep the post-step state.
+            done = (chm.state_deg[tgt] == 0) | (aemit >= max_events)
+            done_go = done & go
+            if done_go.any():
+                self.state[acoh[done_go]] = tgt[done_go] % S
+            keep = go & ~done
+            if keep.all():
+                ast = tgt
+                at = t_next
+            else:
+                acoh, ast, at = acoh[keep], tgt[keep], t_next[keep]
+                ak0, ak1 = ak0[keep], ak1[keep]
+                aemit, abr = aemit[keep], abr[keep]
+            r += 1
+
+        # -- state-oblivious Poisson overlays (baseline models) ---------
+        self._emit_overlays(
+            chm, rows, cl, k0, k1, hour_idx, hour_start,
+            out_rows, out_times, out_events,
+        )
+
+    # ------------------------------------------------------------------
+    def _drain_ue(
+        self,
+        chm: CompiledHourModel,
+        row: int,
+        st: int,
+        tt: float,
+        em: int,
+        k0: np.uint64,
+        k1: np.uint64,
+        hour_idx: int,
+        hour_end: float,
+        max_events: int,
+        r: int,
+        out_rows: List[np.ndarray],
+        out_times: List[np.ndarray],
+        out_events: List[np.ndarray],
+    ) -> None:
+        """Finish one UE's hour in a scalar loop (long-tail UEs).
+
+        Consumes exactly the same ``(counter, lane)`` Philox uniforms as
+        the vector loop would at each round and evaluates the same
+        IEEE-754 expressions, so the emitted events are bit-identical to
+        batch stepping — only cheaper for a near-empty cohort.
+        """
+        (
+            sel_key,
+            state_deg,
+            edge_event,
+            edge_target,
+            edge_kind,
+            edge_rate,
+            kptr,
+            kkey,
+            kp,
+            kv,
+            has_exp,
+        ) = chm.scalar_tables()
+        min_sojourn = float(MIN_SOJOURN)
+        times: List[float] = []
+        evs: List[int] = []
+        final_state = None
+        while final_state is None:
+            c0 = np.uint64(r >> 1) + np.arange(
+                _DRAIN_BLOCK >> 1, dtype=np.uint64
+            )
+            x0, x1, x2, x3 = philox4x64(c0, hour_idx, _P_STEP, 0, k0, k1)
+            u_edge = np.empty(_DRAIN_BLOCK)
+            u_dwell = np.empty(_DRAIN_BLOCK)
+            u_edge[0::2] = _to_unit(x0)
+            u_dwell[0::2] = _to_unit(x1)
+            u_edge[1::2] = _to_unit(x2)
+            u_dwell[1::2] = _to_unit(x3)
+            uel = u_edge.tolist()
+            udl = u_dwell.tolist()
+            for j in range(_DRAIN_BLOCK):
+                e = bisect_right(sel_key, st + uel[j])
+                u = udl[j]
+                if has_exp and edge_kind[e] != 0:
+                    dwell = -float(np.log1p(-u)) / edge_rate[e]
+                else:
+                    lo = kptr[e]
+                    hi = kptr[e + 1]
+                    pc = bisect_left(kkey, e + u)
+                    if pc < lo + 1:
+                        pc = lo + 1
+                    elif pc > hi - 1:
+                        pc = hi - 1
+                    p0 = kp[pc - 1]
+                    p1 = kp[pc]
+                    uu = p0 if u < p0 else (p1 if u > p1 else u)
+                    v0 = kv[pc - 1]
+                    dwell = v0 + (uu - p0) * (kv[pc] - v0) / (p1 - p0)
+                if dwell < min_sojourn:
+                    dwell = min_sojourn
+                t_next = tt + dwell
+                if t_next >= hour_end:
+                    final_state = st  # pending event dropped at boundary
+                    break
+                times.append(t_next)
+                evs.append(edge_event[e])
+                st = edge_target[e]
+                tt = t_next
+                em += 1
+                if state_deg[st] == 0 or em >= max_events:
+                    final_state = st
+                    break
+            r += _DRAIN_BLOCK
+        self.state[row] = final_state % chm.S
+        if times:
+            out_rows.append(np.full(len(times), row, dtype=np.int64))
+            out_times.append(np.asarray(times, dtype=np.float64))
+            out_events.append(np.asarray(evs, dtype=np.int16))
+
+    # ------------------------------------------------------------------
+    def _emit_overlays(
+        self,
+        chm: CompiledHourModel,
+        rows: np.ndarray,
+        cl: np.ndarray,
+        k0: np.ndarray,
+        k1: np.ndarray,
+        hour_idx: int,
+        hour_start: float,
+        out_rows: List[np.ndarray],
+        out_times: List[np.ndarray],
+        out_events: List[np.ndarray],
+    ) -> None:
+        for c in chm.overlay_clusters:
+            member = cl == c
+            rows_c = rows[member]
+            if rows_c.size == 0:
+                continue
+            k0c = k0[member]
+            k1c = k1[member]
+            for event_code, rate in chm.clusters[c].overlay:
+                lam = rate * SECONDS_PER_HOUR
+                u_n = _uniforms(
+                    k0c, k1c, 0, hour_idx, _P_OVERLAY_N, np.uint64(event_code)
+                )[0]
+                counts = _poisson_from_uniform(u_n, lam)
+                total = int(counts.sum())
+                if total == 0:
+                    continue
+                rep = np.repeat(np.arange(rows_c.size), counts)
+                slot = np.arange(total) - np.repeat(
+                    np.cumsum(counts) - counts, counts
+                )
+                u_t = _uniforms(
+                    k0c[rep],
+                    k1c[rep],
+                    slot,
+                    hour_idx,
+                    _P_OVERLAY_T,
+                    np.uint64(event_code),
+                )[0]
+                out_rows.append(rows_c[rep])
+                out_times.append(hour_start + u_t * SECONDS_PER_HOUR)
+                out_events.append(np.full(total, event_code, dtype=np.int16))
+
+
+# ---------------------------------------------------------------------------
+# Whole-trace production helpers (used by traffgen / parallel / streaming)
+# ---------------------------------------------------------------------------
+
+
+def population_for_counts(
+    model_set: ModelSet,
+    counts: Dict[DeviceType, int],
+    *,
+    seed: int,
+    start_hour: int,
+    first_index: int = 0,
+) -> CompiledPopulation:
+    """Build the population for a device-count split, in generation order."""
+    device_codes = np.concatenate(
+        [
+            np.full(counts[dt], int(dt), dtype=np.int8)
+            for dt in sorted(counts, key=int)
+        ]
+        or [np.empty(0, dtype=np.int8)]
+    )
+    total = len(device_codes)
+    return CompiledPopulation(
+        model_set,
+        device_codes,
+        first_index + np.arange(total, dtype=np.int64),
+        seed=seed,
+        start_hour=start_hour,
+    )
+
+
+def generate_columns(
+    population: CompiledPopulation,
+    num_hours: int,
+    first_ue_id: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Run ``num_hours`` and return (ue, time, event, device) columns."""
+    ue_col, time_col, event_col, device_col = [], [], [], []
+    for _ in range(num_hours):
+        rows, times, events = population.advance_hour()
+        if len(rows) == 0:
+            continue
+        ue_col.append(first_ue_id + rows)
+        time_col.append(times)
+        event_col.append(events.astype(np.int8))
+        device_col.append(population.device_codes[rows])
+    if not ue_col:
+        empty = np.empty(0)
+        return (
+            empty.astype(np.int64),
+            empty,
+            empty.astype(np.int8),
+            empty.astype(np.int8),
+        )
+    return (
+        np.concatenate(ue_col),
+        np.concatenate(time_col),
+        np.concatenate(event_col),
+        np.concatenate(device_col),
+    )

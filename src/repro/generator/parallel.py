@@ -3,9 +3,15 @@
 The paper ran 38K/380K per-UE generator instances across 12 CPUs with
 GNU ``parallel``.  Here the same fan-out uses a ``multiprocessing``
 pool: the UE population is split into contiguous chunks, each worker
-generates its chunk with the *same* per-UE seed substreams the serial
+generates its chunk with the *same* per-UE random substreams the serial
 path would use, and the chunks are merged.  The output is bit-identical
-to :meth:`TrafficGenerator.generate` with the same arguments.
+to :meth:`TrafficGenerator.generate` with the same arguments and
+engine.
+
+Per-UE substreams are derived directly from the UE's position in the
+generation order — ``SeedSequence(seed, spawn_key=(position,))`` for
+the reference engine, a Philox counter keyed on the position for the
+compiled engine — so per-worker setup is O(chunk), not O(population).
 """
 
 from __future__ import annotations
@@ -18,7 +24,8 @@ import numpy as np
 from ..model.model_set import ModelSet
 from ..trace.events import DeviceType
 from ..trace.trace import Trace
-from .traffgen import DeviceCounts, TrafficGenerator
+from .compiled import CompiledPopulation, generate_columns
+from .traffgen import DeviceCounts, TrafficGenerator, _check_engine
 
 # Worker-global model set, installed once per process by _init_worker
 # so each task message carries only the chunk bounds.
@@ -53,21 +60,36 @@ def _plan_chunks(
     return chunks
 
 
-def _generate_chunk(args: Tuple[int, int, int, int, int, int, int, int]) -> tuple:
+def _generate_chunk(args: Tuple[int, int, int, int, int, int, int, str]) -> tuple:
     """Generate one chunk inside a worker process."""
-    (device_code, start_idx, n, first_ue_id, seed, total, start_hour, num_hours) = args
+    (device_code, start_idx, n, first_ue_id, seed, start_hour, num_hours, engine) = args
     assert _WORKER_MODEL is not None, "worker not initialized"
     from .ue_generator import generate_ue_events
 
     model_set = _WORKER_MODEL
     device_type = DeviceType(device_code)
+
+    if engine == "compiled":
+        population = CompiledPopulation(
+            model_set,
+            np.full(n, device_code, dtype=np.int8),
+            start_idx + np.arange(n, dtype=np.int64),
+            seed=seed,
+            start_hour=start_hour,
+        )
+        columns = generate_columns(population, num_hours, first_ue_id)
+        if len(columns[0]) == 0:
+            return (None, None, None, None)
+        return columns
+
     machine = model_set.machine()
-    streams = np.random.SeedSequence(seed).spawn(total)
     personas = np.asarray(model_set.device_ues[device_type], dtype=np.int64)
 
     ue_col, time_col, event_col, device_col = [], [], [], []
     for offset in range(n):
-        rng = np.random.default_rng(streams[start_idx + offset])
+        rng = np.random.default_rng(
+            np.random.SeedSequence(seed, spawn_key=(start_idx + offset,))
+        )
         persona = int(personas[rng.integers(personas.size)])
         times, events = generate_ue_events(
             model_set,
@@ -104,20 +126,21 @@ def generate_parallel(
     first_ue_id: int = 0,
     processes: Optional[int] = None,
     chunk_size: int = 500,
+    engine: str = "compiled",
 ) -> Trace:
     """Generate a trace using a process pool.
 
-    Produces output identical to ``TrafficGenerator(model_set).generate``
-    with the same parameters.  ``processes=None`` uses all CPUs; pass
-    ``processes=1`` to run the chunked path in-process (useful for
-    tests and debugging).
+    Produces output identical to ``TrafficGenerator(model_set,
+    engine=engine).generate`` with the same parameters.
+    ``processes=None`` uses all CPUs; pass ``processes=1`` to run the
+    chunked path in-process (useful for tests and debugging).
     """
+    _check_engine(engine)
     generator = TrafficGenerator(model_set)
     counts = generator.resolve_counts(num_ues)
-    total = sum(counts.values())
     chunks = _plan_chunks(counts, chunk_size, first_ue_id)
     tasks = [
-        (device, start_idx, n, ue0, seed, total, start_hour, num_hours)
+        (device, start_idx, n, ue0, seed, start_hour, num_hours, engine)
         for (device, start_idx, n, ue0) in chunks
     ]
 

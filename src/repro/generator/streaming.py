@@ -3,13 +3,17 @@
 Driving a live MCN (or a real-time monitoring pipeline) needs events in
 timestamp order as they "happen", not a materialized trace.  The
 streaming generator produces exactly the same events as
-:meth:`TrafficGenerator.generate` with the same arguments, but yields
-them one at a time in global time order, holding one hour of the
-population's traffic (plus one light session object per UE) in memory.
+:meth:`TrafficGenerator.generate` with the same arguments and engine,
+but yields them one at a time in global time order, holding one hour of
+the population's traffic (plus one light per-UE state record) in
+memory.
 
-Each UE is a resumable :class:`~repro.generator.ue_generator.UeSession`
-seeded from the same per-UE substream batch generation uses, so stream
-and batch outputs match event for event.
+With the compiled engine the whole population advances through
+:class:`~repro.generator.compiled.CompiledPopulation` in vectorized
+cohort batches; with the reference engine each UE is a resumable
+:class:`~repro.generator.ue_generator.UeSession`.  Either way the
+per-UE randomness matches batch generation, so stream and batch outputs
+match event for event.
 """
 
 from __future__ import annotations
@@ -21,7 +25,8 @@ import numpy as np
 from ..model.model_set import ModelSet
 from ..trace.events import DeviceType, EventType
 from ..trace.trace import Event, Trace
-from .traffgen import DeviceCounts, TrafficGenerator
+from .compiled import population_for_counts
+from .traffgen import DeviceCounts, TrafficGenerator, _check_engine
 from .ue_generator import UeSession
 
 
@@ -33,21 +38,44 @@ def stream_events(
     num_hours: int = 1,
     seed: int = 0,
     first_ue_id: int = 0,
+    engine: str = "compiled",
 ) -> Iterator[Event]:
     """Yield the population's events in global time order.
 
     Equivalent to iterating the trace from
-    ``TrafficGenerator(model_set).generate(...)`` with identical
-    arguments, hour by hour.
+    ``TrafficGenerator(model_set, engine=engine).generate(...)`` with
+    identical arguments, hour by hour.
     """
+    _check_engine(engine)
     if num_hours <= 0:
         raise ValueError(f"num_hours must be positive, got {num_hours}")
     generator = TrafficGenerator(model_set)
     counts = generator.resolve_counts(num_ues)
-    total = sum(counts.values())
-    streams = np.random.SeedSequence(seed).spawn(total)
-    machine = model_set.machine()
 
+    if engine == "compiled":
+        for device_type in sorted(counts, key=int):
+            if counts[device_type] > 0 and not model_set.device_ues.get(
+                device_type
+            ):
+                raise ValueError(
+                    f"no fitted model for device type {device_type.name}"
+                )
+        population = population_for_counts(
+            model_set, counts, seed=seed, start_hour=start_hour
+        )
+        for _ in range(num_hours):
+            rows, times, events = population.advance_hour()
+            devices = population.device_codes[rows]
+            for row, t, ev, dev in zip(rows, times, events, devices):
+                yield Event(
+                    ue_id=first_ue_id + int(row),
+                    time=float(t),
+                    event_type=EventType(int(ev)),
+                    device_type=DeviceType(int(dev)),
+                )
+        return
+
+    machine = model_set.machine()
     sessions: List[Tuple[int, UeSession]] = []
     ue_id = first_ue_id
     idx = 0
@@ -60,7 +88,11 @@ def stream_events(
                 f"no fitted model for device type {device_type.name}"
             )
         for _ in range(counts[device_type]):
-            rng = np.random.default_rng(streams[idx])
+            # Substream idx of SeedSequence(seed).spawn(total), derived
+            # in O(1) (see repro.generator.parallel).
+            rng = np.random.default_rng(
+                np.random.SeedSequence(seed, spawn_key=(idx,))
+            )
             idx += 1
             persona = int(personas[rng.integers(personas.size)])
             sessions.append(

@@ -22,18 +22,35 @@ import numpy as np
 from ..model.model_set import ModelSet
 from ..trace.events import DeviceType
 from ..trace.trace import Trace
+from .compiled import generate_columns, population_for_counts
 from .ue_generator import generate_ue_events
 
 DeviceCounts = Union[int, Mapping[DeviceType, int]]
+
+#: Generation engines: "compiled" batches whole cluster-hour cohorts
+#: through flat array tables (see :mod:`repro.generator.compiled`);
+#: "reference" walks one Python-level chain step per event and serves as
+#: the statistical oracle.  Both draw from per-UE substreams, so output
+#: is invariant to generation order; their RNG streams differ, so the
+#: two engines produce *statistically* equivalent but not bit-identical
+#: traces.
+ENGINES = ("compiled", "reference")
+
+
+def _check_engine(engine: str) -> str:
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}, expected one of {ENGINES}")
+    return engine
 
 
 class TrafficGenerator:
     """Synthesizes control-plane traces from a fitted :class:`ModelSet`."""
 
-    def __init__(self, model_set: ModelSet) -> None:
+    def __init__(self, model_set: ModelSet, *, engine: str = "compiled") -> None:
         if not model_set.models:
             raise ValueError("model set contains no fitted models")
         self.model_set = model_set
+        self.engine = _check_engine(engine)
 
     # ------------------------------------------------------------------
     def resolve_counts(self, num_ues: DeviceCounts) -> Dict[DeviceType, int]:
@@ -71,16 +88,37 @@ class TrafficGenerator:
         num_hours: int = 1,
         seed: int = 0,
         first_ue_id: int = 0,
+        engine: Optional[str] = None,
     ) -> Trace:
         """Synthesize a trace for ``num_ues`` UEs over ``num_hours`` hours.
 
         Every UE gets an independent, reproducible random substream, so
         the output is invariant to generation order and amenable to
-        parallel generation.
+        parallel generation.  ``engine`` overrides the generator's
+        default (see :data:`ENGINES`).
         """
+        engine = self.engine if engine is None else _check_engine(engine)
+        if num_hours <= 0:
+            raise ValueError(f"num_hours must be positive, got {num_hours}")
         counts = self.resolve_counts(num_ues)
-        total = sum(counts.values())
-        streams = np.random.SeedSequence(seed).spawn(total)
+
+        for device_type in sorted(counts, key=int):
+            if counts[device_type] > 0 and not self.model_set.device_ues.get(
+                device_type
+            ):
+                raise ValueError(
+                    f"no fitted model for device type {device_type.name}"
+                )
+
+        if engine == "compiled":
+            population = population_for_counts(
+                self.model_set, counts, seed=seed, start_hour=start_hour
+            )
+            columns = generate_columns(population, num_hours, first_ue_id)
+            if len(columns[0]) == 0:
+                return Trace.empty()
+            return Trace(*columns, validate=False)
+
         machine = self.model_set.machine()
 
         ue_col = []
@@ -93,12 +131,14 @@ class TrafficGenerator:
             personas = np.asarray(
                 self.model_set.device_ues.get(device_type, []), dtype=np.int64
             )
-            if counts[device_type] > 0 and personas.size == 0:
-                raise ValueError(
-                    f"no fitted model for device type {device_type.name}"
-                )
             for _ in range(counts[device_type]):
-                rng = np.random.default_rng(streams[stream_idx])
+                # Substream i of SeedSequence(seed).spawn(total) is
+                # SeedSequence(seed, spawn_key=(i,)) — deriving it
+                # directly keeps setup O(1) per UE instead of
+                # O(population) per call.
+                rng = np.random.default_rng(
+                    np.random.SeedSequence(seed, spawn_key=(stream_idx,))
+                )
                 stream_idx += 1
                 persona = int(personas[rng.integers(personas.size)])
                 times, events = generate_ue_events(

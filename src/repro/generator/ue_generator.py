@@ -28,7 +28,13 @@ import numpy as np
 from ..model.model_set import ModelSet
 from ..statemachines.fsm import StateMachine
 from ..statemachines.replay import _canonical_source_for
-from ..trace.events import SECONDS_PER_HOUR, DeviceType, EventType, quantize_timestamp
+from ..trace.events import (
+    SECONDS_PER_HOUR,
+    DeviceType,
+    EventType,
+    quantize_times,
+    quantize_timestamp,
+)
 
 #: Hard per-UE-per-hour event cap; a guard against degenerate fitted
 #: chains (e.g. a self-loop with near-zero sojourn), far above any
@@ -169,6 +175,6 @@ def _overlay_events(
         n = rng.poisson(rate * (hour_end - hour_start))
         if n == 0:
             continue
-        for t in np.sort(rng.uniform(hour_start, hour_end, size=n)):
-            times.append(quantize_timestamp(float(t)))
-            events.append(int(event))
+        ts = np.sort(rng.uniform(hour_start, hour_end, size=n))
+        times.extend(quantize_times(ts).tolist())
+        events.extend([int(event)] * int(n))

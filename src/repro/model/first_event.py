@@ -26,6 +26,16 @@ class FirstEventModel:
     event_probs: Dict[EventType, float]     #: first-event type distribution
     offset: EmpiricalCDF                    #: first-event time within the hour
 
+    #: Cached (event, cumulative-probability) table so sampling is a
+    #: single ``searchsorted`` and the compiled engine can lower the
+    #: model without re-sorting dicts.
+    _events: Tuple[EventType, ...] = dataclasses.field(
+        init=False, repr=False, compare=False
+    )
+    _cum_probs: np.ndarray = dataclasses.field(
+        init=False, repr=False, compare=False
+    )
+
     def __post_init__(self) -> None:
         if not 0.0 <= self.p_active <= 1.0:
             raise ValueError(f"p_active must be in [0, 1], got {self.p_active}")
@@ -33,6 +43,16 @@ class FirstEventModel:
             total = sum(self.event_probs.values())
             if abs(total - 1.0) > 1e-6:
                 raise ValueError(f"event probabilities sum to {total}")
+        events = tuple(sorted(self.event_probs, key=int))
+        cum = np.cumsum([self.event_probs[e] for e in events])
+        if cum.size:
+            cum[-1] = 1.0
+        object.__setattr__(self, "_events", events)
+        object.__setattr__(self, "_cum_probs", cum)
+
+    def event_table(self) -> Tuple[Tuple[EventType, ...], np.ndarray]:
+        """``(events, cumulative probabilities)`` in event-code order."""
+        return self._events, self._cum_probs
 
     def sample(
         self, rng: np.random.Generator
@@ -40,9 +60,8 @@ class FirstEventModel:
         """Draw ``(first event, offset seconds)``; ``None`` = silent hour."""
         if not self.event_probs or rng.random() >= self.p_active:
             return None
-        events = sorted(self.event_probs, key=int)
-        probs = [self.event_probs[e] for e in events]
-        event = events[rng.choice(len(events), p=probs)]
+        idx = int(np.searchsorted(self._cum_probs, rng.random(), side="right"))
+        event = self._events[min(idx, len(self._events) - 1)]
         offset = float(self.offset.sample(rng))
         return event, min(max(offset, 0.0), SECONDS_PER_HOUR - 1e-3)
 

@@ -117,3 +117,11 @@ TIMESTAMP_GRANULARITY = 1e-3
 def quantize_timestamp(t: float) -> float:
     """Round ``t`` (seconds) to the trace's millisecond granularity."""
     return round(t / TIMESTAMP_GRANULARITY) * TIMESTAMP_GRANULARITY
+
+
+def quantize_times(times) -> "np.ndarray":
+    """Vectorized :func:`quantize_timestamp` (same half-even rounding)."""
+    import numpy as np
+
+    arr = np.asarray(times, dtype=np.float64)
+    return np.round(arr / TIMESTAMP_GRANULARITY) * TIMESTAMP_GRANULARITY
