@@ -143,14 +143,18 @@ def _cmd_fit(args: argparse.Namespace) -> int:
 def _cmd_generate(args: argparse.Namespace) -> int:
     model = ModelSet.load(args.model)
     counts = _device_counts(args)
-    if args.processes and args.processes != 1:
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume requires --checkpoint")
+    if args.processes != 1:
         trace = generate_parallel(
             model,
             counts,
             start_hour=args.start_hour,
             num_hours=args.hours,
             seed=args.seed,
-            processes=args.processes,
+            processes=args.processes or None,  # 0 = all CPUs
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
         )
     else:
         trace = TrafficGenerator(model).generate(
@@ -158,6 +162,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             start_hour=args.start_hour,
             num_hours=args.hours,
             seed=args.seed,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
         )
     _save_trace(trace, args.out)
     print(f"synthesized {len(trace):,} events / {trace.num_ues} UEs -> {args.out}")
@@ -308,7 +314,8 @@ def _cmd_core(args: argparse.Namespace) -> int:
         for p in sorted(report.procedures.values(), key=lambda p: p.name)
     ]
     print(format_table(["procedure", "count", "mean", "p99"], rows))
-    print(f"bottleneck: {report.bottleneck()}")
+    bottleneck = report.bottleneck()
+    print(f"bottleneck: {bottleneck if bottleneck is not None else '(no traffic)'}")
     return 0
 
 
@@ -388,6 +395,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--processes", type=int, default=1,
                    help="process pool size (0 = all CPUs)")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="snapshot run progress to PATH (atomic) so an "
+                        "interrupted run can be resumed")
+    p.add_argument("--resume", action="store_true",
+                   help="resume an interrupted run from --checkpoint; "
+                        "output is bit-identical to an uninterrupted run")
     p.add_argument("--out", required=True)
     p.set_defaults(func=_cmd_generate)
 

@@ -1,16 +1,28 @@
 """Trace synthesis from fitted model sets (§7)."""
 
+from .checkpoint import (
+    CheckpointError,
+    CheckpointMismatchError,
+    GenerationCheckpoint,
+    RunKey,
+)
 from .compiled import CompiledModelSet, CompiledPopulation, compile_model_set
-from .parallel import generate_parallel
+from .parallel import ChunkFailedError, generate_parallel
 from .streaming import stream_events, stream_to_trace
-from .traffgen import ENGINES, TrafficGenerator
+from .traffgen import ENGINES, MAX_SEED, TrafficGenerator, validate_run_args
 from .ue_generator import MAX_EVENTS_PER_HOUR, UeSession, generate_ue_events
 
 __all__ = [
     "ENGINES",
     "MAX_EVENTS_PER_HOUR",
+    "MAX_SEED",
+    "CheckpointError",
+    "CheckpointMismatchError",
+    "ChunkFailedError",
     "CompiledModelSet",
     "CompiledPopulation",
+    "GenerationCheckpoint",
+    "RunKey",
     "TrafficGenerator",
     "compile_model_set",
     "generate_parallel",
@@ -18,4 +30,5 @@ __all__ = [
     "generate_ue_events",
     "stream_events",
     "stream_to_trace",
+    "validate_run_args",
 ]

@@ -596,6 +596,28 @@ class CompiledPopulation:
         self._next_hour_idx = 0
 
     # ------------------------------------------------------------------
+    def snapshot(self) -> Tuple[np.ndarray, int]:
+        """Carryover state for checkpoint/resume: (chain codes, next hour).
+
+        Personas and per-UE Philox keys are pure functions of the seed
+        and are replayed by ``__init__``; the chain-state array plus the
+        hour counter are the only mutable state, so restoring them via
+        :meth:`restore` makes the continuation bit-identical.
+        """
+        return self.state.copy(), int(self._next_hour_idx)
+
+    def restore(self, state: np.ndarray, next_hour_idx: int) -> None:
+        """Install carryover state captured by :meth:`snapshot`."""
+        state = np.asarray(state, dtype=np.int32)
+        if state.shape != self.state.shape:
+            raise ValueError(
+                f"carryover state has {state.shape[0] if state.ndim else 0} "
+                f"entries, population has {self.state.shape[0]}"
+            )
+        self.state = state.copy()
+        self._next_hour_idx = int(next_hour_idx)
+
+    # ------------------------------------------------------------------
     def advance_hour(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Generate the next hour for all UEs.
 

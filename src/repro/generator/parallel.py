@@ -1,23 +1,48 @@
-"""Parallel trace generation across processes.
+"""Parallel trace generation across processes, with fault tolerance.
 
 The paper ran 38K/380K per-UE generator instances across 12 CPUs with
-GNU ``parallel``.  Here the same fan-out uses a ``multiprocessing``
-pool: the UE population is split into contiguous chunks, each worker
-generates its chunk with the *same* per-UE random substreams the serial
-path would use, and the chunks are merged.  The output is bit-identical
-to :meth:`TrafficGenerator.generate` with the same arguments and
-engine.
+GNU ``parallel``.  Here the same fan-out uses a
+``concurrent.futures.ProcessPoolExecutor``: the UE population is split
+into contiguous chunks, each worker generates its chunk with the *same*
+per-UE random substreams the serial path would use, and the chunks are
+merged in plan order.  The output is bit-identical to
+:meth:`TrafficGenerator.generate` with the same arguments and engine.
 
 Per-UE substreams are derived directly from the UE's position in the
 generation order — ``SeedSequence(seed, spawn_key=(position,))`` for
 the reference engine, a Philox counter keyed on the position for the
 compiled engine — so per-worker setup is O(chunk), not O(population).
+
+**Fault tolerance.**  Chunks are pure functions of the run parameters,
+which makes worker failure cheap to mask:
+
+- a worker that *raises* marks its chunk failed and the chunk is
+  retried on a fresh pool;
+- a worker that *dies* (OOM-kill, segfault, ``kill -9``) breaks the
+  whole pool; the survivors' finished chunks are kept, the crash is
+  attributed via per-chunk started-markers, and the unfinished chunks
+  are resubmitted to a new pool after capped exponential backoff;
+- a chunk that keeps failing is eventually run alone in a single-worker
+  pool so blame is unambiguous, and once it exhausts ``max_retries``
+  the run fails with a structured :class:`ChunkFailedError` naming the
+  exact device, UE range, and hour range — never a bare
+  ``BrokenProcessPool``.
+
+Because retried chunks recompute exactly the same events, recovery is
+invisible in the output.  With ``checkpoint_path`` every finished
+chunk's columns are snapshotted (atomically) so an interrupted run can
+``resume=True`` and regenerate only the missing chunks.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+import os
+import shutil
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -25,16 +50,63 @@ from ..model.model_set import ModelSet
 from ..trace.events import DeviceType
 from ..trace.trace import Trace
 from .compiled import CompiledPopulation, generate_columns
-from .traffgen import DeviceCounts, TrafficGenerator, _check_engine
+from .traffgen import DeviceCounts, TrafficGenerator, _check_engine, validate_run_args
 
-# Worker-global model set, installed once per process by _init_worker
-# so each task message carries only the chunk bounds.
+#: Environment knob for fault-injection tests (see
+#: :func:`_maybe_inject_fault`).  Format:
+#: ``"chunk=<idx>;fails=<k>;mode=<exit|raise>;dir=<path>"`` — the worker
+#: handling chunk ``idx`` fails its first ``k`` attempts (counted via
+#: marker files under ``dir``), either by dying (``exit``, simulating a
+#: crash/OOM-kill) or by raising (``raise``).  Subsequent attempts run
+#: normally, so tests can assert transparent recovery and bit-identical
+#: output.
+FAULT_ENV = "REPRO_TEST_FAULT"
+
+# Worker-global model set and scratch dir, installed once per process by
+# _init_worker so each task message carries only the chunk bounds.
 _WORKER_MODEL: Optional[ModelSet] = None
+_WORKER_SCRATCH: Optional[str] = None
 
 
-def _init_worker(model_payload: dict) -> None:
-    global _WORKER_MODEL
+class ChunkFailedError(RuntimeError):
+    """A generation chunk failed deterministically after all retries.
+
+    Attributes
+    ----------
+    device_type:
+        The chunk's :class:`DeviceType`.
+    ue_range:
+        ``(first_ue_id, first_ue_id + n)`` of the failed chunk.
+    hour_range:
+        ``(start_hour, start_hour + num_hours)`` of the run.
+    attempts:
+        Number of failed attempts, including the first.
+    """
+
+    def __init__(
+        self,
+        device_type: DeviceType,
+        ue_range: Tuple[int, int],
+        hour_range: Tuple[int, int],
+        attempts: int,
+        reason: str,
+    ) -> None:
+        self.device_type = device_type
+        self.ue_range = ue_range
+        self.hour_range = hour_range
+        self.attempts = attempts
+        super().__init__(
+            f"chunk for device {device_type.name}, "
+            f"UEs [{ue_range[0]}, {ue_range[1]}), "
+            f"hours [{hour_range[0]}, {hour_range[1]}) "
+            f"failed after {attempts} attempt(s): {reason}"
+        )
+
+
+def _init_worker(model_payload: dict, scratch_dir: Optional[str] = None) -> None:
+    global _WORKER_MODEL, _WORKER_SCRATCH
     _WORKER_MODEL = ModelSet.from_dict(model_payload)
+    _WORKER_SCRATCH = scratch_dir
 
 
 def _plan_chunks(
@@ -60,10 +132,67 @@ def _plan_chunks(
     return chunks
 
 
-def _generate_chunk(args: Tuple[int, int, int, int, int, int, int, str]) -> tuple:
+def _maybe_inject_fault(chunk_idx: int) -> None:
+    """Fail this chunk attempt if the :data:`FAULT_ENV` knob says so."""
+    spec = os.environ.get(FAULT_ENV)
+    if not spec:
+        return
+    fields = dict(part.split("=", 1) for part in spec.split(";") if part)
+    if int(fields.get("chunk", -1)) != chunk_idx:
+        return
+    fails = int(fields.get("fails", 1))
+    mode = fields.get("mode", "raise")
+    directory = fields["dir"]
+    for attempt in range(fails):
+        marker = os.path.join(directory, f"fault-{chunk_idx}-{attempt}")
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue  # this attempt already spent; try the next slot
+        os.close(fd)
+        if mode == "exit":
+            os._exit(17)  # hard death: no cleanup, pool breaks
+        raise RuntimeError(
+            f"injected fault on chunk {chunk_idx} (attempt {attempt})"
+        )
+
+
+def _empty_columns() -> tuple:
+    return (
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.float64),
+        np.empty(0, dtype=np.int8),
+        np.empty(0, dtype=np.int8),
+    )
+
+
+def _generate_chunk(
+    args: Tuple[int, int, int, int, int, int, int, int, str]
+) -> tuple:
     """Generate one chunk inside a worker process."""
-    (device_code, start_idx, n, first_ue_id, seed, start_hour, num_hours, engine) = args
+    (
+        chunk_idx,
+        device_code,
+        start_idx,
+        n,
+        first_ue_id,
+        seed,
+        start_hour,
+        num_hours,
+        engine,
+    ) = args
     assert _WORKER_MODEL is not None, "worker not initialized"
+    if _WORKER_SCRATCH is not None:
+        # Started-marker: lets the parent attribute a pool crash to the
+        # chunks that were actually in flight (see _run_chunks_pool).
+        try:
+            with open(
+                os.path.join(_WORKER_SCRATCH, f"started-{chunk_idx}"), "w"
+            ):
+                pass
+        except OSError:
+            pass
+    _maybe_inject_fault(chunk_idx)
     from .ue_generator import generate_ue_events
 
     model_set = _WORKER_MODEL
@@ -77,10 +206,7 @@ def _generate_chunk(args: Tuple[int, int, int, int, int, int, int, str]) -> tupl
             seed=seed,
             start_hour=start_hour,
         )
-        columns = generate_columns(population, num_hours, first_ue_id)
-        if len(columns[0]) == 0:
-            return (None, None, None, None)
-        return columns
+        return generate_columns(population, num_hours, first_ue_id)
 
     machine = model_set.machine()
     personas = np.asarray(model_set.device_ues[device_type], dtype=np.int64)
@@ -107,7 +233,7 @@ def _generate_chunk(args: Tuple[int, int, int, int, int, int, int, str]) -> tupl
             event_col.append(np.asarray(events, dtype=np.int8))
             device_col.append(np.full(k, device_code, dtype=np.int8))
     if not ue_col:
-        return (None, None, None, None)
+        return _empty_columns()
     return (
         np.concatenate(ue_col),
         np.concatenate(time_col),
@@ -127,6 +253,12 @@ def generate_parallel(
     processes: Optional[int] = None,
     chunk_size: int = 500,
     engine: str = "compiled",
+    checkpoint_path: "Optional[str | os.PathLike[str]]" = None,
+    resume: bool = False,
+    max_retries: int = 2,
+    retry_backoff: float = 0.5,
+    max_backoff: float = 30.0,
+    fault_hook: Optional[Callable[[int, int], None]] = None,
 ) -> Trace:
     """Generate a trace using a process pool.
 
@@ -134,31 +266,117 @@ def generate_parallel(
     engine=engine).generate`` with the same parameters.
     ``processes=None`` uses all CPUs; pass ``processes=1`` to run the
     chunked path in-process (useful for tests and debugging).
+
+    A crashed or raising chunk worker is retried up to ``max_retries``
+    times on a fresh process with capped exponential backoff
+    (``retry_backoff * 2**k`` seconds, capped at ``max_backoff``); a
+    chunk that still fails raises :class:`ChunkFailedError`.  With
+    ``checkpoint_path`` each finished chunk is snapshotted so
+    ``resume=True`` regenerates only the missing ones.  ``fault_hook``
+    is a test-only in-process injection point called as
+    ``fault_hook(chunk_idx, attempt)`` before each in-process chunk
+    (``processes=1`` only).
     """
     _check_engine(engine)
+    validate_run_args(
+        start_hour=start_hour,
+        num_hours=num_hours,
+        seed=seed,
+        first_ue_id=first_ue_id,
+    )
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be non-negative, got {max_retries}")
+    if retry_backoff < 0:
+        raise ValueError(
+            f"retry_backoff must be non-negative, got {retry_backoff}"
+        )
+    if resume and checkpoint_path is None:
+        raise ValueError("resume=True requires checkpoint_path")
+
+    from .checkpoint import GenerationCheckpoint, RunKey, _rng_provenance
+
     generator = TrafficGenerator(model_set)
     counts = generator.resolve_counts(num_ues)
     chunks = _plan_chunks(counts, chunk_size, first_ue_id)
-    tasks = [
-        (device, start_idx, n, ue0, seed, start_hour, num_hours, engine)
-        for (device, start_idx, n, ue0) in chunks
-    ]
+    tasks = {
+        i: (i, device, start_idx, n, ue0, seed, start_hour, num_hours, engine)
+        for i, (device, start_idx, n, ue0) in enumerate(chunks)
+    }
 
-    if processes == 1:
-        _init_worker(model_set.to_dict())
-        results = [_generate_chunk(task) for task in tasks]
-    else:
-        payload = model_set.to_dict()
-        with multiprocessing.Pool(
-            processes=processes,
-            initializer=_init_worker,
-            initargs=(payload,),
-        ) as pool:
-            results = pool.map(_generate_chunk, tasks)
+    key = None
+    results: Dict[int, tuple] = {}
+    if checkpoint_path is not None:
+        key = RunKey.for_run(
+            model_set,
+            counts,
+            kind="parallel",
+            engine=engine,
+            seed=seed,
+            start_hour=start_hour,
+            num_hours=num_hours,
+            first_ue_id=first_ue_id,
+            chunk_size=chunk_size,
+        )
+        if resume:
+            checkpoint = GenerationCheckpoint.load_for_run(checkpoint_path, key)
+            results = dict(checkpoint.chunk_columns)
+
+    def _save() -> None:
+        if checkpoint_path is None:
+            return
+        GenerationCheckpoint(
+            key=key,
+            chunk_columns=results,
+            provenance=_rng_provenance(engine),
+        ).save(checkpoint_path)
+
+    pending = sorted(i for i in tasks if i not in results)
+    if checkpoint_path is not None and not resume:
+        _save()
+
+    def _chunk_failed(idx: int, attempts: int, reason: str) -> ChunkFailedError:
+        device, _, n, ue0 = chunks[idx]
+        return ChunkFailedError(
+            DeviceType(device),
+            (ue0, ue0 + n),
+            (start_hour, start_hour + num_hours),
+            attempts,
+            reason,
+        )
+
+    if pending:
+        backoff = _Backoff(retry_backoff, max_backoff)
+        if processes == 1:
+            _run_chunks_inline(
+                model_set,
+                tasks,
+                pending,
+                results,
+                max_retries=max_retries,
+                backoff=backoff,
+                fault_hook=fault_hook,
+                chunk_failed=_chunk_failed,
+                save=_save,
+            )
+        else:
+            _run_chunks_pool(
+                model_set.to_dict(),
+                tasks,
+                pending,
+                results,
+                processes=processes,
+                max_retries=max_retries,
+                backoff=backoff,
+                chunk_failed=_chunk_failed,
+                save=_save,
+            )
 
     ue_col, time_col, event_col, device_col = [], [], [], []
-    for ue, times, events, devices in results:
-        if ue is None:
+    for i in range(len(chunks)):
+        ue, times, events, devices = results[i]
+        if ue is None or len(ue) == 0:
             continue
         ue_col.append(ue)
         time_col.append(times)
@@ -173,3 +391,137 @@ def generate_parallel(
         np.concatenate(device_col),
         validate=False,
     )
+
+
+class _Backoff:
+    """Capped exponential backoff between retry rounds."""
+
+    def __init__(self, base: float, cap: float) -> None:
+        self.base = base
+        self.cap = cap
+        self.failures = 0
+
+    def sleep(self) -> None:
+        self.failures += 1
+        delay = min(self.base * (2 ** (self.failures - 1)), self.cap)
+        if delay > 0:
+            time.sleep(delay)
+
+
+def _run_chunks_inline(
+    model_set: ModelSet,
+    tasks: Dict[int, tuple],
+    pending: List[int],
+    results: Dict[int, tuple],
+    *,
+    max_retries: int,
+    backoff: _Backoff,
+    fault_hook: Optional[Callable[[int, int], None]],
+    chunk_failed: Callable[[int, int, str], ChunkFailedError],
+    save: Callable[[], None],
+) -> None:
+    """Run the chunks in-process (``processes=1``), with the retry policy."""
+    _init_worker(model_set.to_dict())
+    for i in pending:
+        attempt = 0
+        while True:
+            try:
+                if fault_hook is not None:
+                    fault_hook(i, attempt)
+                results[i] = _generate_chunk(tasks[i])
+            except Exception as exc:
+                attempt += 1
+                if attempt > max_retries:
+                    raise chunk_failed(i, attempt, repr(exc)) from exc
+                backoff.sleep()
+            else:
+                save()
+                break
+
+
+def _run_chunks_pool(
+    payload: dict,
+    tasks: Dict[int, tuple],
+    pending: List[int],
+    results: Dict[int, tuple],
+    *,
+    processes: Optional[int],
+    max_retries: int,
+    backoff: _Backoff,
+    chunk_failed: Callable[[int, int, str], ChunkFailedError],
+    save: Callable[[], None],
+) -> None:
+    """Drive the chunk set through process pools until done or failed.
+
+    Worker exceptions are attributed to their chunk directly.  A pool
+    break (worker death) is attributed to the started-but-unfinished
+    chunks; a chunk suspected in two consecutive broken rounds is rerun
+    *alone* in a single-worker pool, where a crash is unambiguous and
+    counts as a confirmed failure.  Confirmed failures beyond
+    ``max_retries`` raise :class:`ChunkFailedError`.
+    """
+    confirmed: Dict[int, int] = {}
+    streak: Dict[int, int] = {}
+    causes: Dict[int, str] = {}
+    todo: Set[int] = set(pending)
+    while todo:
+        isolated = sorted(i for i in todo if streak.get(i, 0) >= 2)
+        single = bool(isolated)
+        batch = isolated[:1] if single else sorted(todo)
+        scratch = tempfile.mkdtemp(prefix="repro-chunks-")
+        broken = False
+        failed_this_round = False
+        try:
+            with ProcessPoolExecutor(
+                max_workers=1 if single else processes,
+                initializer=_init_worker,
+                initargs=(payload, scratch),
+            ) as executor:
+                futures = {}
+                try:
+                    for i in batch:
+                        futures[executor.submit(_generate_chunk, tasks[i])] = i
+                except BrokenProcessPool:
+                    broken = True
+                for future in as_completed(futures):
+                    i = futures[future]
+                    try:
+                        columns = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                    except Exception as exc:
+                        failed_this_round = True
+                        confirmed[i] = confirmed.get(i, 0) + 1
+                        causes[i] = repr(exc)
+                        if confirmed[i] > max_retries:
+                            raise chunk_failed(
+                                i, confirmed[i], causes[i]
+                            ) from exc
+                    else:
+                        results[i] = columns
+                        todo.discard(i)
+                        streak.pop(i, None)
+                        save()
+            if broken:
+                failed_this_round = True
+                started = {
+                    int(name.split("-", 1)[1])
+                    for name in os.listdir(scratch)
+                    if name.startswith("started-")
+                }
+                suspects = sorted(todo & started) or sorted(
+                    set(batch) & todo
+                )
+                for i in suspects:
+                    causes[i] = "worker process died (pool broken)"
+                    if single:
+                        # Alone in the pool: the crash is this chunk's.
+                        confirmed[i] = confirmed.get(i, 0) + 1
+                        if confirmed[i] > max_retries:
+                            raise chunk_failed(i, confirmed[i], causes[i])
+                    else:
+                        streak[i] = streak.get(i, 0) + 1
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+        if todo and failed_this_round:
+            backoff.sleep()

@@ -14,20 +14,28 @@ cohort batches; with the reference engine each UE is a resumable
 :class:`~repro.generator.ue_generator.UeSession`.  Either way the
 per-UE randomness matches batch generation, so stream and batch outputs
 match event for event.
+
+**Checkpointing.**  With ``checkpoint_path`` the stream snapshots its
+carryover state after each fully yielded hour; ``resume=True`` restarts
+from the last completed hour and yields the remaining events.  Delivery
+is *at least once* with an exact replay boundary: the checkpoint's
+``events_emitted`` counts the events yielded up to the snapshot, so a
+consumer that kept the first ``events_emitted`` events of the
+interrupted stream and then concatenates the resumed stream gets the
+uninterrupted stream event for event (see
+:mod:`repro.generator.checkpoint`).
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
-
-import numpy as np
+import os
+from typing import Iterator, List, Optional, Tuple
 
 from ..model.model_set import ModelSet
 from ..trace.events import DeviceType, EventType
 from ..trace.trace import Event, Trace
 from .compiled import population_for_counts
-from .traffgen import DeviceCounts, TrafficGenerator, _check_engine
-from .ue_generator import UeSession
+from .traffgen import DeviceCounts, TrafficGenerator, _check_engine, validate_run_args
 
 
 def stream_events(
@@ -39,31 +47,114 @@ def stream_events(
     seed: int = 0,
     first_ue_id: int = 0,
     engine: str = "compiled",
+    checkpoint_path: "Optional[str | os.PathLike[str]]" = None,
+    resume: bool = False,
 ) -> Iterator[Event]:
     """Yield the population's events in global time order.
 
     Equivalent to iterating the trace from
     ``TrafficGenerator(model_set, engine=engine).generate(...)`` with
-    identical arguments, hour by hour.
+    identical arguments, hour by hour.  Arguments are validated eagerly
+    (before the first event is requested).
     """
     _check_engine(engine)
-    if num_hours <= 0:
-        raise ValueError(f"num_hours must be positive, got {num_hours}")
+    validate_run_args(
+        start_hour=start_hour,
+        num_hours=num_hours,
+        seed=seed,
+        first_ue_id=first_ue_id,
+    )
     generator = TrafficGenerator(model_set)
     counts = generator.resolve_counts(num_ues)
+    for device_type in sorted(counts, key=int):
+        if counts[device_type] > 0 and not model_set.device_ues.get(
+            device_type
+        ):
+            raise ValueError(
+                f"no fitted model for device type {device_type.name}"
+            )
+    if resume and checkpoint_path is None:
+        raise ValueError("resume=True requires checkpoint_path")
+    return _stream(
+        model_set,
+        counts,
+        start_hour=start_hour,
+        num_hours=num_hours,
+        seed=seed,
+        first_ue_id=first_ue_id,
+        engine=engine,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
+    )
+
+
+def _stream(
+    model_set: ModelSet,
+    counts,
+    *,
+    start_hour: int,
+    num_hours: int,
+    seed: int,
+    first_ue_id: int,
+    engine: str,
+    checkpoint_path,
+    resume: bool,
+) -> Iterator[Event]:
+    from .checkpoint import (
+        CheckpointError,
+        GenerationCheckpoint,
+        RunKey,
+        _rng_provenance,
+        build_reference_sessions,
+        restore_reference_sessions,
+    )
+
+    key: Optional[RunKey] = None
+    checkpoint: Optional[GenerationCheckpoint] = None
+    hours_done = 0
+    events_emitted = 0
+    if checkpoint_path is not None:
+        key = RunKey.for_run(
+            model_set,
+            counts,
+            kind="stream",
+            engine=engine,
+            seed=seed,
+            start_hour=start_hour,
+            num_hours=num_hours,
+            first_ue_id=first_ue_id,
+        )
+        if resume:
+            checkpoint = GenerationCheckpoint.load_for_run(checkpoint_path, key)
+            hours_done = checkpoint.hours_done
+            events_emitted = checkpoint.events_emitted
+
+    def _save(population_state=None, sessions=None) -> None:
+        if checkpoint_path is None:
+            return
+        GenerationCheckpoint(
+            key=key,
+            hours_done=hours_done,
+            events_emitted=events_emitted,
+            population_state=population_state,
+            sessions=sessions,
+            provenance=_rng_provenance(engine),
+        ).save(checkpoint_path)
 
     if engine == "compiled":
-        for device_type in sorted(counts, key=int):
-            if counts[device_type] > 0 and not model_set.device_ues.get(
-                device_type
-            ):
-                raise ValueError(
-                    f"no fitted model for device type {device_type.name}"
-                )
         population = population_for_counts(
             model_set, counts, seed=seed, start_hour=start_hour
         )
-        for _ in range(num_hours):
+        if checkpoint is not None:
+            if checkpoint.population_state is None:
+                raise CheckpointError(
+                    f"{checkpoint_path}: compiled-engine checkpoint is "
+                    "missing the population carryover state"
+                )
+            population.restore(checkpoint.population_state, hours_done)
+        else:
+            _save(population_state=population.snapshot()[0])
+        for _ in range(hours_done, num_hours):
             rows, times, events = population.advance_hour()
             devices = population.device_codes[rows]
             for row, t, ev, dev in zip(rows, times, events, devices):
@@ -73,48 +164,32 @@ def stream_events(
                     event_type=EventType(int(ev)),
                     device_type=DeviceType(int(dev)),
                 )
+            hours_done += 1
+            events_emitted += len(rows)
+            _save(population_state=population.snapshot()[0])
         return
 
-    machine = model_set.machine()
-    sessions: List[Tuple[int, UeSession]] = []
-    ue_id = first_ue_id
-    idx = 0
-    for device_type in sorted(counts, key=int):
-        personas = np.asarray(
-            model_set.device_ues.get(device_type, []), dtype=np.int64
+    if checkpoint is not None:
+        if checkpoint.sessions is None:
+            raise CheckpointError(
+                f"{checkpoint_path}: reference-engine checkpoint is "
+                "missing the per-UE session snapshots"
+            )
+        sessions = restore_reference_sessions(
+            model_set, checkpoint.sessions, start_hour=start_hour
         )
-        if counts[device_type] > 0 and personas.size == 0:
-            raise ValueError(
-                f"no fitted model for device type {device_type.name}"
-            )
-        for _ in range(counts[device_type]):
-            # Substream idx of SeedSequence(seed).spawn(total), derived
-            # in O(1) (see repro.generator.parallel).
-            rng = np.random.default_rng(
-                np.random.SeedSequence(seed, spawn_key=(idx,))
-            )
-            idx += 1
-            persona = int(personas[rng.integers(personas.size)])
-            sessions.append(
-                (
-                    ue_id,
-                    UeSession(
-                        model_set,
-                        device_type,
-                        persona,
-                        start_hour=start_hour,
-                        rng=rng,
-                        machine=machine,
-                    ),
-                )
-            )
-            ue_id += 1
+    else:
+        sessions = build_reference_sessions(
+            model_set, counts, seed=seed, start_hour=start_hour
+        )
+        _save(sessions=[s.snapshot() for s in sessions])
 
-    for _ in range(num_hours):
+    for _ in range(hours_done, num_hours):
         batch: List[Tuple[float, int, int, int]] = []
-        for uid, session in sessions:
+        for position, session in enumerate(sessions):
             times, events = session.advance_hour()
             device = int(session.device_type)
+            uid = first_ue_id + position
             for t, ev in zip(times, events):
                 batch.append((t, uid, ev, device))
         batch.sort()
@@ -125,6 +200,9 @@ def stream_events(
                 event_type=EventType(ev),
                 device_type=DeviceType(dev),
             )
+        hours_done += 1
+        events_emitted += len(batch)
+        _save(sessions=[s.snapshot() for s in sessions])
 
 
 def stream_to_trace(events: Iterator[Event]) -> Trace:

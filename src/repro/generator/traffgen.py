@@ -15,6 +15,8 @@ with replacement.
 
 from __future__ import annotations
 
+import os
+from numbers import Integral
 from typing import Dict, Mapping, Optional, Union
 
 import numpy as np
@@ -43,6 +45,48 @@ def _check_engine(engine: str) -> str:
     return engine
 
 
+#: Seeds parameterize ``SeedSequence`` entropy and the Philox root key;
+#: both are specified for unsigned 64-bit words.
+MAX_SEED = 2 ** 64
+
+
+def validate_run_args(
+    *,
+    start_hour: int = 0,
+    num_hours: int = 1,
+    seed: int = 0,
+    first_ue_id: int = 0,
+) -> None:
+    """Validate the parameter quartet shared by every generation entry.
+
+    ``TrafficGenerator.generate``, :func:`~repro.generator.parallel.
+    generate_parallel` and :func:`~repro.generator.streaming.
+    stream_events` accept the same run parameters; this is the single
+    place their domains are enforced, so every entry point rejects the
+    same bad inputs with the same message.
+    """
+    for name, value in (
+        ("start_hour", start_hour),
+        ("num_hours", num_hours),
+        ("seed", seed),
+        ("first_ue_id", first_ue_id),
+    ):
+        if not isinstance(value, Integral):
+            raise TypeError(
+                f"{name} must be an integer, got {type(value).__name__}"
+            )
+    if num_hours <= 0:
+        raise ValueError(f"num_hours must be positive, got {num_hours}")
+    if start_hour < 0:
+        raise ValueError(f"start_hour must be non-negative, got {start_hour}")
+    if first_ue_id < 0:
+        raise ValueError(
+            f"first_ue_id must be non-negative, got {first_ue_id}"
+        )
+    if not 0 <= seed < MAX_SEED:
+        raise ValueError(f"seed must be in [0, 2**64), got {seed}")
+
+
 class TrafficGenerator:
     """Synthesizes control-plane traces from a fitted :class:`ModelSet`."""
 
@@ -57,6 +101,11 @@ class TrafficGenerator:
         """Split a total UE count by the training trace's device mix."""
         if isinstance(num_ues, Mapping):
             counts = {DeviceType(k): int(v) for k, v in num_ues.items()}
+            negative = {dt.name: n for dt, n in counts.items() if n < 0}
+            if negative:
+                raise ValueError(
+                    f"device counts must be non-negative, got {negative}"
+                )
             unknown = set(counts) - set(self.model_set.device_ues)
             if unknown:
                 raise ValueError(
@@ -89,6 +138,8 @@ class TrafficGenerator:
         seed: int = 0,
         first_ue_id: int = 0,
         engine: Optional[str] = None,
+        checkpoint_path: "Optional[str | os.PathLike[str]]" = None,
+        resume: bool = False,
     ) -> Trace:
         """Synthesize a trace for ``num_ues`` UEs over ``num_hours`` hours.
 
@@ -96,10 +147,20 @@ class TrafficGenerator:
         the output is invariant to generation order and amenable to
         parallel generation.  ``engine`` overrides the generator's
         default (see :data:`ENGINES`).
+
+        With ``checkpoint_path`` the run snapshots its progress after
+        every generated hour (atomically — see
+        :mod:`repro.generator.checkpoint`); ``resume=True`` picks up an
+        interrupted run from that file and returns the *complete* trace,
+        bit-identical to an uninterrupted run with the same arguments.
         """
         engine = self.engine if engine is None else _check_engine(engine)
-        if num_hours <= 0:
-            raise ValueError(f"num_hours must be positive, got {num_hours}")
+        validate_run_args(
+            start_hour=start_hour,
+            num_hours=num_hours,
+            seed=seed,
+            first_ue_id=first_ue_id,
+        )
         counts = self.resolve_counts(num_ues)
 
         for device_type in sorted(counts, key=int):
@@ -109,6 +170,21 @@ class TrafficGenerator:
                 raise ValueError(
                     f"no fitted model for device type {device_type.name}"
                 )
+
+        if checkpoint_path is not None or resume:
+            from .checkpoint import generate_checkpointed
+
+            return generate_checkpointed(
+                self.model_set,
+                counts,
+                engine=engine,
+                start_hour=start_hour,
+                num_hours=num_hours,
+                seed=seed,
+                first_ue_id=first_ue_id,
+                checkpoint_path=checkpoint_path,
+                resume=resume,
+            )
 
         if engine == "compiled":
             population = population_for_counts(

@@ -64,6 +64,50 @@ class UeSession:
         self.state: Optional[str] = None
         self._next_hour_idx = 0
 
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-serializable carryover state for checkpoint/resume.
+
+        Captures everything the next hour depends on: the chain state,
+        the persona, and the *exact* bit-generator state, so a session
+        restored via :meth:`from_snapshot` continues bit-identically.
+        """
+        return {
+            "device": int(self.device_type),
+            "persona": int(self.persona),
+            "state": self.state,
+            "next_hour_idx": int(self._next_hour_idx),
+            "rng": self.rng.bit_generator.state,
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        model_set: ModelSet,
+        snapshot: dict,
+        *,
+        start_hour: int,
+        machine: Optional[StateMachine] = None,
+    ) -> "UeSession":
+        """Rebuild a session from :meth:`snapshot` output.
+
+        The persona draw is *not* repeated — the restored bit-generator
+        state already sits exactly where the original session left it.
+        """
+        rng = np.random.default_rng(0)
+        rng.bit_generator.state = snapshot["rng"]
+        session = cls(
+            model_set,
+            DeviceType(int(snapshot["device"])),
+            int(snapshot["persona"]),
+            start_hour=start_hour,
+            rng=rng,
+            machine=machine,
+        )
+        session.state = snapshot["state"]
+        session._next_hour_idx = int(snapshot["next_hour_idx"])
+        return session
+
     def advance_hour(self) -> Tuple[List[float], List[int]]:
         """Generate the next hour's events (times relative to t=0)."""
         hour_idx = self._next_hour_idx

@@ -61,8 +61,10 @@ class CoreReport:
     functions: Dict[str, FunctionReport]
     procedures: Dict[str, ProcedureReport]
 
-    def bottleneck(self) -> str:
-        """The most utilized network function."""
+    def bottleneck(self) -> Optional[str]:
+        """The most utilized network function, or ``None`` if no messages flowed."""
+        if not self.functions:
+            return None
         return max(self.functions.values(), key=lambda f: f.utilization).name
 
 
@@ -135,9 +137,21 @@ class CoreNetworkSimulator:
 
     # ------------------------------------------------------------------
     def process(self, trace: Trace) -> CoreReport:
-        """Run the trace through the core and report per-NF/per-procedure stats."""
+        """Run the trace through the core and report per-NF/per-procedure stats.
+
+        A zero-event trace yields an empty report (``num_events == 0``,
+        no function or procedure entries, ``bottleneck() is None``)
+        rather than raising.
+        """
         if len(trace) == 0:
-            raise ValueError("cannot process an empty trace")
+            return CoreReport(
+                core=self.core,
+                num_events=0,
+                num_messages=0,
+                span=0.0,
+                functions={},
+                procedures={},
+            )
         rng = np.random.default_rng(self.seed)
         t0 = float(trace.times[0])
         queues = {

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 import gzip
+import hashlib
 import json
 import os
 from typing import Dict, List, Optional, Union
@@ -147,6 +148,25 @@ class ModelSet:
 
     def machine(self) -> StateMachine:
         return build_machine(self.machine_kind)
+
+    def content_hash(self) -> str:
+        """SHA-256 over the canonical JSON serialization of this model set.
+
+        Generation checkpoints (:mod:`repro.generator.checkpoint`) embed
+        this hash so a resumed run can prove it is using byte-identical
+        model content — resuming against a different (or re-fitted)
+        model set would silently break the bit-identity guarantee.
+        Memoized per instance; mutating a model set after hashing it is
+        not supported.
+        """
+        cached = getattr(self, "_content_hash_cache", None)
+        if cached is None:
+            payload = json.dumps(
+                self.to_dict(), sort_keys=True, separators=(",", ":")
+            )
+            cached = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+            self._content_hash_cache = cached
+        return cached
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:

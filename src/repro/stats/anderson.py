@@ -6,6 +6,13 @@ the Poisson (exponential inter-arrival) hypothesis.  Critical values
 are Stephens (1974) for the exponential family with the scale estimated
 from the data, applied to the corrected statistic
 ``A²* = A² * (1 + 0.6/n)``.
+
+This implementation is self-contained: both the statistic and the
+critical-value table are computed here, so it is unaffected by SciPy's
+``scipy.stats.anderson`` critical-value method migration (the
+``method=`` parameter added in SciPy 1.17).  SciPy reports the
+*uncorrected* A² for ``dist="expon"``; multiply by ``1 + 0.6/n`` to
+compare against :attr:`AndersonResult.statistic`.
 """
 
 from __future__ import annotations

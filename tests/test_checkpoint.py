@@ -1,0 +1,443 @@
+"""Checkpoint/resume and fault-tolerance tests.
+
+The contract under test: a run interrupted at *any* point and resumed
+from its checkpoint produces output bit-identical to an uninterrupted
+run with the same arguments — for both engines, across the serial,
+streaming, and parallel entry points — and worker failures in
+``generate_parallel`` are either masked transparently or reported as a
+structured :class:`ChunkFailedError`.
+"""
+
+import itertools
+import os
+
+import numpy as np
+import pytest
+
+from repro.generator import (
+    CheckpointError,
+    CheckpointMismatchError,
+    ChunkFailedError,
+    GenerationCheckpoint,
+    TrafficGenerator,
+    UeSession,
+    generate_parallel,
+    stream_events,
+)
+from repro.generator.compiled import CompiledPopulation
+from repro.generator.parallel import FAULT_ENV
+from repro.trace import DeviceType
+
+from conftest import TRACE_START_HOUR
+
+ENGINES = ("compiled", "reference")
+
+RUN = dict(start_hour=TRACE_START_HOUR, num_hours=3, seed=7)
+POP = 40
+
+
+def assert_traces_equal(a, b):
+    assert np.array_equal(a.ue_ids, b.ue_ids)
+    assert np.array_equal(a.times, b.times)
+    assert np.array_equal(a.event_types, b.event_types)
+    assert np.array_equal(a.device_types, b.device_types)
+
+
+@pytest.fixture(scope="module")
+def generator(ours_model_set):
+    return TrafficGenerator(ours_model_set)
+
+
+@pytest.fixture(scope="module")
+def baselines(generator):
+    """Uninterrupted serial traces per engine — the bit-identity oracle."""
+    return {
+        engine: generator.generate(POP, engine=engine, **RUN)
+        for engine in ENGINES
+    }
+
+
+class TestModelHash:
+    def test_stable(self, ours_model_set):
+        assert ours_model_set.content_hash() == ours_model_set.content_hash()
+
+    def test_roundtrip_preserves_hash(self, ours_model_set):
+        from repro.model import ModelSet
+
+        clone = ModelSet.from_dict(ours_model_set.to_dict())
+        assert clone.content_hash() == ours_model_set.content_hash()
+
+    def test_differs_across_model_sets(self, ours_model_set, base_model_set):
+        assert ours_model_set.content_hash() != base_model_set.content_hash()
+
+
+class TestSerialCheckpoint:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_checkpointed_run_matches_plain(
+        self, generator, baselines, engine, tmp_path
+    ):
+        path = tmp_path / "run.npz"
+        trace = generator.generate(
+            POP, engine=engine, checkpoint_path=path, **RUN
+        )
+        assert_traces_equal(baselines[engine], trace)
+        assert path.exists()
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_interrupt_and_resume_bit_identical(
+        self, generator, baselines, engine, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "run.npz"
+        calls = itertools.count()
+
+        # Kill the run partway through the second hour.
+        if engine == "compiled":
+            target, name = CompiledPopulation, "advance_hour"
+            kill_after = 1
+        else:
+            target, name = UeSession, "advance_hour"
+            kill_after = POP + POP // 2
+        original = getattr(target, name)
+
+        def dying(self, *args, **kwargs):
+            if next(calls) >= kill_after:
+                raise KeyboardInterrupt
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(target, name, dying)
+        with pytest.raises(KeyboardInterrupt):
+            generator.generate(POP, engine=engine, checkpoint_path=path, **RUN)
+        monkeypatch.setattr(target, name, original)
+
+        resumed = generator.generate(
+            POP, engine=engine, checkpoint_path=path, resume=True, **RUN
+        )
+        assert_traces_equal(baselines[engine], resumed)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_resume_after_completion(
+        self, generator, baselines, engine, tmp_path
+    ):
+        path = tmp_path / "run.npz"
+        generator.generate(POP, engine=engine, checkpoint_path=path, **RUN)
+        again = generator.generate(
+            POP, engine=engine, checkpoint_path=path, resume=True, **RUN
+        )
+        assert_traces_equal(baselines[engine], again)
+
+    def test_checkpoint_written_before_first_hour(
+        self, generator, tmp_path, monkeypatch
+    ):
+        """A kill before any hour completes still leaves a resumable file."""
+        path = tmp_path / "run.npz"
+
+        def dying(self, *args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(CompiledPopulation, "advance_hour", dying)
+        with pytest.raises(KeyboardInterrupt):
+            generator.generate(POP, checkpoint_path=path, **RUN)
+        assert path.exists()
+        assert GenerationCheckpoint.load(path).hours_done == 0
+
+    def test_mismatched_seed_rejected(self, generator, tmp_path):
+        path = tmp_path / "run.npz"
+        generator.generate(POP, checkpoint_path=path, **RUN)
+        with pytest.raises(CheckpointMismatchError, match="seed"):
+            generator.generate(
+                POP,
+                checkpoint_path=path,
+                resume=True,
+                start_hour=RUN["start_hour"],
+                num_hours=RUN["num_hours"],
+                seed=RUN["seed"] + 1,
+            )
+
+    def test_mismatched_model_rejected(
+        self, generator, base_model_set, tmp_path
+    ):
+        path = tmp_path / "run.npz"
+        generator.generate(POP, checkpoint_path=path, **RUN)
+        other = TrafficGenerator(base_model_set)
+        with pytest.raises(CheckpointMismatchError, match="model_hash"):
+            other.generate(POP, checkpoint_path=path, resume=True, **RUN)
+
+    def test_mismatch_message_names_all_fields(self, generator, tmp_path):
+        path = tmp_path / "run.npz"
+        generator.generate(POP, checkpoint_path=path, **RUN)
+        with pytest.raises(CheckpointMismatchError) as excinfo:
+            generator.generate(
+                POP,
+                checkpoint_path=path,
+                resume=True,
+                start_hour=RUN["start_hour"] + 1,
+                num_hours=RUN["num_hours"] + 1,
+                seed=RUN["seed"],
+            )
+        message = str(excinfo.value)
+        assert "start_hour" in message and "num_hours" in message
+
+    def test_resume_without_checkpoint_path(self, generator):
+        with pytest.raises(ValueError, match="checkpoint_path"):
+            generator.generate(POP, resume=True, **RUN)
+
+    def test_missing_file(self, generator, tmp_path):
+        with pytest.raises(CheckpointError):
+            generator.generate(
+                POP,
+                checkpoint_path=tmp_path / "nope.npz",
+                resume=True,
+                **RUN,
+            )
+
+    def test_garbage_file(self, generator, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a checkpoint")
+        with pytest.raises(CheckpointError):
+            generator.generate(POP, checkpoint_path=path, resume=True, **RUN)
+
+
+class TestStreamingCheckpoint:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_interrupted_stream_plus_resumed_equals_whole(
+        self, ours_model_set, engine, tmp_path
+    ):
+        """Kill a stream mid-hour; concatenated streams match end to end."""
+        path = tmp_path / "stream.npz"
+        whole = list(
+            stream_events(ours_model_set, POP, engine=engine, **RUN)
+        )
+
+        stream = stream_events(
+            ours_model_set, POP, engine=engine, checkpoint_path=path, **RUN
+        )
+        # Consume into the middle of the second hour, then drop the stream
+        # (simulating a crash between checkpoints).
+        consumed = [next(stream) for _ in range(len(whole) // 2)]
+        stream.close()
+
+        # The checkpoint tells the consumer exactly how many of its
+        # events precede the resume point.
+        replay_from = GenerationCheckpoint.load(path).events_emitted
+        assert 0 < replay_from <= len(consumed)
+
+        resumed = list(
+            stream_events(
+                ours_model_set,
+                POP,
+                engine=engine,
+                checkpoint_path=path,
+                resume=True,
+                **RUN,
+            )
+        )
+        assert consumed[:replay_from] + resumed == whole
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_stream_checkpoint_written_eagerly(
+        self, ours_model_set, engine, tmp_path
+    ):
+        path = tmp_path / "stream.npz"
+        stream = stream_events(
+            ours_model_set, POP, engine=engine, checkpoint_path=path, **RUN
+        )
+        next(stream)  # killed in the very first hour
+        stream.close()
+        assert GenerationCheckpoint.load(path).events_emitted == 0
+
+    def test_stream_resume_requires_checkpoint_path(self, ours_model_set):
+        with pytest.raises(ValueError, match="checkpoint_path"):
+            stream_events(ours_model_set, POP, resume=True, **RUN)
+
+    def test_stream_rejects_serial_checkpoint(
+        self, generator, ours_model_set, tmp_path
+    ):
+        path = tmp_path / "run.npz"
+        generator.generate(POP, checkpoint_path=path, **RUN)
+        with pytest.raises(CheckpointMismatchError, match="kind"):
+            next(
+                iter(
+                    stream_events(
+                        ours_model_set,
+                        POP,
+                        checkpoint_path=path,
+                        resume=True,
+                        **RUN,
+                    )
+                )
+            )
+
+
+class TestParallelCheckpoint:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_checkpointed_parallel_matches_serial(
+        self, ours_model_set, baselines, engine, tmp_path
+    ):
+        path = tmp_path / "par.npz"
+        trace = generate_parallel(
+            ours_model_set,
+            POP,
+            engine=engine,
+            processes=1,
+            chunk_size=7,
+            checkpoint_path=path,
+            **RUN,
+        )
+        assert_traces_equal(baselines[engine], trace)
+
+    def test_interrupted_parallel_resumes(
+        self, ours_model_set, baselines, tmp_path
+    ):
+        path = tmp_path / "par.npz"
+
+        def bomb(chunk_idx, attempt):
+            if chunk_idx == 3:
+                raise RuntimeError("interrupted")
+
+        with pytest.raises(ChunkFailedError):
+            generate_parallel(
+                ours_model_set,
+                POP,
+                processes=1,
+                chunk_size=7,
+                checkpoint_path=path,
+                max_retries=0,
+                fault_hook=bomb,
+                **RUN,
+            )
+        # Chunks 0-2 are in the checkpoint; the resume regenerates the rest.
+        assert len(GenerationCheckpoint.load(path).chunk_columns) == 3
+        resumed = generate_parallel(
+            ours_model_set,
+            POP,
+            processes=1,
+            chunk_size=7,
+            checkpoint_path=path,
+            resume=True,
+            **RUN,
+        )
+        assert_traces_equal(baselines["compiled"], resumed)
+
+    def test_inline_retry_masks_transient_failure(
+        self, ours_model_set, baselines
+    ):
+        failures = {"left": 2}
+
+        def flaky(chunk_idx, attempt):
+            if chunk_idx == 1 and failures["left"] > 0:
+                failures["left"] -= 1
+                raise RuntimeError("transient")
+
+        trace = generate_parallel(
+            ours_model_set,
+            POP,
+            processes=1,
+            chunk_size=7,
+            max_retries=2,
+            retry_backoff=0.0,
+            fault_hook=flaky,
+            **RUN,
+        )
+        assert failures["left"] == 0
+        assert_traces_equal(baselines["compiled"], trace)
+
+    def test_inline_poisoned_chunk_fails_structured(self, ours_model_set):
+        def poisoned(chunk_idx, attempt):
+            if chunk_idx == 2:
+                raise RuntimeError("always broken")
+
+        with pytest.raises(ChunkFailedError) as excinfo:
+            generate_parallel(
+                ours_model_set,
+                POP,
+                processes=1,
+                chunk_size=7,
+                max_retries=1,
+                retry_backoff=0.0,
+                fault_hook=poisoned,
+                **RUN,
+            )
+        err = excinfo.value
+        assert err.ue_range == (14, 21)
+        assert err.device_type == DeviceType.PHONE
+        assert err.attempts == 2
+        assert err.hour_range == (
+            RUN["start_hour"],
+            RUN["start_hour"] + RUN["num_hours"],
+        )
+        assert "UEs [14, 21)" in str(err)
+
+
+@pytest.mark.slow
+class TestParallelWorkerCrash:
+    """Real multiprocess fault injection via the env knob."""
+
+    def _run(self, model_set, **kwargs):
+        return generate_parallel(
+            model_set,
+            POP,
+            processes=2,
+            chunk_size=7,
+            retry_backoff=0.01,
+            **RUN,
+            **kwargs,
+        )
+
+    def test_killed_worker_recovers_bit_identical(
+        self, ours_model_set, baselines, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(
+            FAULT_ENV, f"chunk=2;fails=1;mode=exit;dir={tmp_path}"
+        )
+        trace = self._run(ours_model_set)
+        assert_traces_equal(baselines["compiled"], trace)
+        # Exactly one injected death.
+        assert sorted(os.listdir(tmp_path)) == ["fault-2-0"]
+
+    def test_raising_worker_recovers_bit_identical(
+        self, ours_model_set, baselines, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(
+            FAULT_ENV, f"chunk=0;fails=2;mode=raise;dir={tmp_path}"
+        )
+        trace = self._run(ours_model_set, max_retries=2)
+        assert_traces_equal(baselines["compiled"], trace)
+
+    def test_poisoned_raising_chunk_names_itself(
+        self, ours_model_set, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(
+            FAULT_ENV, f"chunk=1;fails=99;mode=raise;dir={tmp_path}"
+        )
+        with pytest.raises(ChunkFailedError) as excinfo:
+            self._run(ours_model_set, max_retries=1)
+        assert excinfo.value.ue_range == (7, 14)
+        assert excinfo.value.device_type == DeviceType.PHONE
+
+    def test_poisoned_crashing_chunk_isolated_and_named(
+        self, ours_model_set, tmp_path, monkeypatch
+    ):
+        """A chunk that always kills its worker is confirmed via the
+        single-worker isolation round, never a bare BrokenProcessPool."""
+        monkeypatch.setenv(
+            FAULT_ENV, f"chunk=0;fails=99;mode=exit;dir={tmp_path}"
+        )
+        with pytest.raises(ChunkFailedError) as excinfo:
+            self._run(ours_model_set, max_retries=1)
+        assert excinfo.value.ue_range == (0, 7)
+        assert "died" in str(excinfo.value)
+
+    def test_crash_then_resume_from_checkpoint(
+        self, ours_model_set, baselines, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "par.npz"
+        monkeypatch.setenv(
+            FAULT_ENV, f"chunk=3;fails=99;mode=raise;dir={tmp_path}"
+        )
+        with pytest.raises(ChunkFailedError):
+            self._run(ours_model_set, max_retries=0, checkpoint_path=path)
+        monkeypatch.delenv(FAULT_ENV)
+        resumed = self._run(
+            ours_model_set, checkpoint_path=path, resume=True
+        )
+        assert_traces_equal(baselines["compiled"], resumed)

@@ -123,6 +123,50 @@ class TestFitGenerateRoundtrip:
         )
         assert read_npz(trace_out) == read_npz(serial_out)
 
+    def test_generate_checkpoint_roundtrip(self, workspace):
+        model = str(workspace / "model.json.gz")
+        plain_out = workspace / "plain.npz"
+        main(
+            [
+                "generate", "--model", model, "--ues", "20",
+                "--start-hour", "18", "--hours", "2",
+                "--out", str(plain_out),
+            ]
+        )
+        checkpoint = workspace / "run-checkpoint.npz"
+        first_out = workspace / "first.npz"
+        rc = main(
+            [
+                "generate", "--model", model, "--ues", "20",
+                "--start-hour", "18", "--hours", "2",
+                "--checkpoint", str(checkpoint), "--out", str(first_out),
+            ]
+        )
+        assert rc == 0
+        assert checkpoint.exists()
+        resumed_out = workspace / "resumed.npz"
+        rc = main(
+            [
+                "generate", "--model", model, "--ues", "20",
+                "--start-hour", "18", "--hours", "2",
+                "--checkpoint", str(checkpoint), "--resume",
+                "--out", str(resumed_out),
+            ]
+        )
+        assert rc == 0
+        assert read_npz(plain_out) == read_npz(first_out)
+        assert read_npz(plain_out) == read_npz(resumed_out)
+
+    def test_resume_requires_checkpoint(self, workspace):
+        with pytest.raises(SystemExit, match="--resume requires"):
+            main(
+                [
+                    "generate", "--model", str(workspace / "model.json.gz"),
+                    "--ues", "5", "--start-hour", "18", "--resume",
+                    "--out", str(workspace / "x.npz"),
+                ]
+            )
+
 
 class TestOtherCommands:
     def test_inspect(self, workspace, capsys):

@@ -162,3 +162,106 @@ class TestMcnBoundaries:
         assert report.mean_latency == pytest.approx(
             DEFAULT_SERVICE_MEANS[E.SRV_REQ]
         )
+
+    @pytest.mark.parametrize("core", ["epc", "5gc"])
+    def test_core_empty_trace_yields_empty_report(self, core):
+        from repro.mcn import CoreNetworkSimulator
+
+        report = CoreNetworkSimulator(core).process(Trace.empty())
+        assert report.num_events == 0
+        assert report.num_messages == 0
+        assert report.span == 0.0
+        assert report.functions == {}
+        assert report.procedures == {}
+
+    def test_core_empty_report_has_no_bottleneck(self):
+        from repro.mcn import CoreNetworkSimulator
+
+        report = CoreNetworkSimulator().process(Trace.empty())
+        assert report.bottleneck() is None
+
+    def test_core_nonempty_report_names_bottleneck(self):
+        from repro.mcn import CoreNetworkSimulator
+
+        tr = make_trace([(1, 5.0, E.ATCH, P)])
+        report = CoreNetworkSimulator().process(tr)
+        assert report.bottleneck() in report.functions
+
+
+class TestRunArgumentValidation:
+    """All generation entry points reject bad run parameters eagerly."""
+
+    @staticmethod
+    def entry_points(model_set):
+        from repro.generator import (
+            TrafficGenerator,
+            generate_parallel,
+            stream_events,
+        )
+
+        gen = TrafficGenerator(model_set)
+        return [
+            lambda **kw: gen.generate({P: 5}, **kw),
+            lambda **kw: generate_parallel(
+                model_set, {P: 5}, processes=1, **kw
+            ),
+            lambda **kw: stream_events(model_set, {P: 5}, **kw),
+        ]
+
+    @pytest.mark.parametrize(
+        "bad_args, match",
+        [
+            (dict(start_hour=-1), "start_hour"),
+            (dict(num_hours=0), "num_hours"),
+            (dict(num_hours=-3), "num_hours"),
+            (dict(first_ue_id=-1), "first_ue_id"),
+            (dict(seed=-1), "seed"),
+            (dict(seed=2 ** 64), "seed"),
+        ],
+    )
+    def test_value_errors(self, ours_model_set, bad_args, match):
+        for entry in self.entry_points(ours_model_set):
+            kwargs = dict(start_hour=TRACE_START_HOUR)
+            kwargs.update(bad_args)
+            with pytest.raises(ValueError, match=match):
+                entry(**kwargs)
+
+    @pytest.mark.parametrize(
+        "bad_args, match",
+        [
+            (dict(start_hour=1.5), "start_hour"),
+            (dict(num_hours="2"), "num_hours"),
+            (dict(seed=0.5), "seed"),
+        ],
+    )
+    def test_type_errors(self, ours_model_set, bad_args, match):
+        for entry in self.entry_points(ours_model_set):
+            kwargs = dict(start_hour=TRACE_START_HOUR)
+            kwargs.update(bad_args)
+            with pytest.raises(TypeError, match=match):
+                entry(**kwargs)
+
+    def test_negative_device_counts_rejected(self, ours_model_set):
+        from repro.generator import TrafficGenerator
+
+        gen = TrafficGenerator(ours_model_set)
+        with pytest.raises(ValueError, match="non-negative"):
+            gen.generate({P: -5}, start_hour=TRACE_START_HOUR)
+
+    def test_stream_events_validates_before_first_next(self, ours_model_set):
+        from repro.generator import stream_events
+
+        # The error must surface at call time, not at first iteration.
+        with pytest.raises(ValueError, match="num_hours"):
+            stream_events(ours_model_set, {P: 5}, num_hours=0)
+
+    def test_parallel_rejects_bad_chunk_size(self, ours_model_set):
+        from repro.generator import generate_parallel
+
+        with pytest.raises(ValueError, match="chunk_size"):
+            generate_parallel(
+                ours_model_set,
+                {P: 5},
+                start_hour=TRACE_START_HOUR,
+                chunk_size=0,
+            )

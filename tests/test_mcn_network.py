@@ -75,9 +75,10 @@ class TestSimulatorConstruction:
 
 
 class TestProcessing:
-    def test_empty_trace_rejected(self):
-        with pytest.raises(ValueError):
-            CoreNetworkSimulator().process(Trace.empty())
+    def test_empty_trace_yields_empty_report(self):
+        report = CoreNetworkSimulator().process(Trace.empty())
+        assert report.num_events == 0
+        assert report.bottleneck() is None
 
     def test_message_count(self):
         tr = make_trace([(1, 0.0, E.SRV_REQ, P), (1, 10.0, E.S1_CONN_REL, P)])
