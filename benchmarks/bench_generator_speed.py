@@ -8,9 +8,11 @@ absolute numbers differ with hardware; the shape is that per-UE cost is
 well under a second and phones (the busiest devices) cost the most.
 """
 
+import contextlib
 import time
 
 from repro.generator import ENGINES, TrafficGenerator
+from repro.telemetry import RunTelemetry
 from repro.trace import DeviceType
 from repro.validation import format_table
 
@@ -64,3 +66,82 @@ def test_generator_per_ue_speed(benchmark, method_models, busy_hour):
         title="Generator speed: one-hour trace synthesis per UE",
     )
     write_result("generator_speed", text)
+
+
+class _NullTelemetry(RunTelemetry):
+    """A collector whose hot-path hooks are no-ops — the counterfactual
+    for measuring what the always-on instrumentation costs."""
+
+    def count(self, name, delta=1):
+        pass
+
+    def progress(self, phase, done, total=0):
+        pass
+
+    def span(self, name):
+        return contextlib.nullcontext()
+
+
+def test_telemetry_overhead(method_models, busy_hour):
+    """The tentpole's always-on-counters contract: telemetry collection
+    must add <3% to generation time on this bench's workload."""
+    generator = TrafficGenerator(method_models["ours"])
+    rows = []
+    for engine, pop in (("compiled", 1000), ("reference", UES_PER_DEVICE)):
+        timings = {}
+        for label, make_tele in (
+            ("off", _NullTelemetry),
+            ("on", RunTelemetry),
+        ):
+            generator.generate(  # warm caches before timing
+                {DeviceType.PHONE: pop},
+                start_hour=busy_hour,
+                num_hours=1,
+                seed=3,
+                engine=engine,
+                telemetry=make_tele(),
+            )
+            best = min(
+                _timed(
+                    generator,
+                    {DeviceType.PHONE: pop},
+                    busy_hour,
+                    engine,
+                    make_tele(),
+                )
+                for _ in range(5)
+            )
+            timings[label] = best
+        overhead = timings["on"] / timings["off"] - 1.0
+        rows.append(
+            [
+                engine,
+                f"{pop:,}",
+                f"{timings['off'] * 1e3:,.1f} ms",
+                f"{timings['on'] * 1e3:,.1f} ms",
+                f"{overhead * 100.0:+.2f}%",
+            ]
+        )
+        assert overhead < 0.03, (
+            f"{engine}: telemetry overhead {overhead:.1%} breaches the "
+            "<3% always-on budget"
+        )
+    text = format_table(
+        ["Engine", "UEs", "telemetry no-op", "telemetry on", "overhead"],
+        rows,
+        title="Telemetry overhead: always-on counters vs no-op collector",
+    )
+    write_result("telemetry_overhead", text)
+
+
+def _timed(generator, population, busy_hour, engine, telemetry):
+    start = time.perf_counter()
+    generator.generate(
+        population,
+        start_hour=busy_hour,
+        num_hours=1,
+        seed=3,
+        engine=engine,
+        telemetry=telemetry,
+    )
+    return time.perf_counter() - start

@@ -21,6 +21,7 @@ import pytest
 from repro.baselines import fit_method
 from repro.generator import TrafficGenerator
 from repro.groundtruth import simulate_ground_truth
+from repro.telemetry import RunTelemetry, get_telemetry, use_telemetry
 from repro.trace import DeviceType, Trace, busiest_hour
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
@@ -46,12 +47,31 @@ THETA_N = max(15, int(10 * SCALE))
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+@pytest.fixture(autouse=True)
+def bench_telemetry(request):
+    """A fresh ambient collector per bench, so each result artifact's
+    telemetry JSON covers exactly that bench's generation work.
+    (Session-scoped fixtures run before this installs, so their one-off
+    fitting cost stays out of the per-bench counters.)"""
+    tele = RunTelemetry({"bench": request.node.name, "scale": SCALE})
+    with use_telemetry(tele):
+        yield tele
+
+
 def write_result(name: str, text: str) -> None:
-    """Write one bench's regenerated artifact and echo it."""
+    """Write one bench's regenerated artifact and echo it.
+
+    The ambient collector's telemetry report lands next to the text
+    artifact (``<name>.telemetry.json``) so the perf trajectory and the
+    counter trajectory (events, UE-hours, RNG draws per bench) can be
+    tracked together across commits.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
-    print(f"\n{text}\n[written to {path}]")
+    telemetry_path = RESULTS_DIR / f"{name}.telemetry.json"
+    get_telemetry().write_report(telemetry_path)
+    print(f"\n{text}\n[written to {path}; telemetry in {telemetry_path}]")
 
 
 @pytest.fixture(scope="session")

@@ -21,7 +21,9 @@ The library provides everything the paper describes, end to end:
 * :mod:`repro.validation` — the macroscopic/microscopic fidelity
   metrics of §8;
 * :mod:`repro.mcn` — a small MME queueing model that consumes the
-  generated traffic.
+  generated traffic;
+* :mod:`repro.telemetry` — run observability: spans, counters, gauges,
+  progress callbacks, and a versioned schema-validated JSON report.
 
 Quickstart::
 
@@ -47,6 +49,7 @@ from .statemachines import (
     nr_sa_machine,
     two_level_machine,
 )
+from .telemetry import RunTelemetry, get_telemetry, use_telemetry
 from .trace import (
     DeviceType,
     Event,
@@ -68,12 +71,14 @@ __all__ = [
     "MmeSimulator",
     "ModelSet",
     "NrEventType",
+    "RunTelemetry",
     "Trace",
     "TrafficGenerator",
     "__version__",
     "emm_ecm_machine",
     "fit_method",
     "fit_model_set",
+    "get_telemetry",
     "nr_sa_machine",
     "read_csv",
     "read_npz",
@@ -81,6 +86,7 @@ __all__ = [
     "scale_to_sa",
     "simulate_ground_truth",
     "two_level_machine",
+    "use_telemetry",
     "write_csv",
     "write_npz",
 ]

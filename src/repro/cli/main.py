@@ -19,10 +19,15 @@ core       drive the procedure-level EPC / 5GC core simulator
 sessions   session-level statistics of a trace
 hurst      self-similarity (Hurst) estimate of a trace
 dot        emit Graphviz DOT for any of the paper's state machines
+telemetry  summarize a telemetry report written by --telemetry
 ========== =========================================================
 
 Traces are read/written by extension: ``.npz`` (compact) or ``.csv``.
-Model sets are JSON, gzipped when the path ends in ``.gz``.
+Model sets are JSON, gzipped when the path ends in ``.gz``.  The
+``generate`` and ``core`` commands take ``--telemetry PATH`` to write a
+versioned, schema-validated observability report of the run (see
+:mod:`repro.telemetry`); ``repro telemetry summarize PATH`` renders its
+per-phase breakdown.
 """
 
 from __future__ import annotations
@@ -49,6 +54,7 @@ from ..statemachines import (
 )
 from ..statemachines.dot import machine_to_dot
 from ..stats import hurst_rescaled_range, hurst_variance_time
+from ..telemetry import RunTelemetry, load_report, summarize_report
 from ..trace import (
     DeviceType,
     Trace,
@@ -140,8 +146,28 @@ def _cmd_fit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_progress(phase: str, done: int, total: int) -> None:
+    if total:
+        print(f"[{phase}] {done}/{total}", file=sys.stderr)
+    else:
+        print(f"[{phase}] {done}", file=sys.stderr)
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
-    model = ModelSet.load(args.model)
+    tele = RunTelemetry(
+        {
+            "command": "generate",
+            "model": args.model,
+            "start_hour": args.start_hour,
+            "num_hours": args.hours,
+            "seed": args.seed,
+            "processes": args.processes,
+        }
+    )
+    if args.progress:
+        tele.on_progress(_print_progress)
+    with tele.span("model-load"):
+        model = ModelSet.load(args.model)
     counts = _device_counts(args)
     if args.resume and not args.checkpoint:
         raise SystemExit("--resume requires --checkpoint")
@@ -155,6 +181,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             processes=args.processes or None,  # 0 = all CPUs
             checkpoint_path=args.checkpoint,
             resume=args.resume,
+            telemetry=tele,
         )
     else:
         trace = TrafficGenerator(model).generate(
@@ -164,9 +191,14 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             seed=args.seed,
             checkpoint_path=args.checkpoint,
             resume=args.resume,
+            telemetry=tele,
         )
-    _save_trace(trace, args.out)
+    with tele.span("trace-write"):
+        _save_trace(trace, args.out)
     print(f"synthesized {len(trace):,} events / {trace.num_ues} UEs -> {args.out}")
+    if args.telemetry:
+        tele.write_report(args.telemetry)
+        print(f"telemetry report -> {args.telemetry}")
     return 0
 
 
@@ -293,11 +325,15 @@ def _cmd_mme(args: argparse.Namespace) -> int:
 
 
 def _cmd_core(args: argparse.Namespace) -> int:
-    trace = _load_trace(args.trace)
+    tele = RunTelemetry(
+        {"command": "core", "core": args.core, "trace": args.trace}
+    )
+    with tele.span("trace-load"):
+        trace = _load_trace(args.trace)
     sim = CoreNetworkSimulator(
         args.core, workers=args.workers, seed=args.seed
     )
-    report = sim.process(trace)
+    report = sim.process(trace, telemetry=tele)
     print(f"core: {report.core}  events: {report.num_events:,}  "
           f"messages: {report.num_messages:,}  span: {report.span:.1f}s")
     rows = [
@@ -316,6 +352,18 @@ def _cmd_core(args: argparse.Namespace) -> int:
     print(format_table(["procedure", "count", "mean", "p99"], rows))
     bottleneck = report.bottleneck()
     print(f"bottleneck: {bottleneck if bottleneck is not None else '(no traffic)'}")
+    if args.telemetry:
+        tele.write_report(args.telemetry)
+        print(f"telemetry report -> {args.telemetry}")
+    return 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    try:
+        report = load_report(args.report)
+    except Exception as exc:
+        raise SystemExit(str(exc))
+    print(summarize_report(report))
     return 0
 
 
@@ -401,6 +449,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="resume an interrupted run from --checkpoint; "
                         "output is bit-identical to an uninterrupted run")
+    p.add_argument("--telemetry", default=None, metavar="PATH",
+                   help="write a schema-validated JSON telemetry report "
+                        "of the run to PATH")
+    p.add_argument("--progress", action="store_true",
+                   help="print rate-limited progress lines to stderr")
     p.add_argument("--out", required=True)
     p.set_defaults(func=_cmd_generate)
 
@@ -463,6 +516,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--core", choices=("epc", "5gc"), default="epc")
     p.add_argument("--workers", type=int, default=4)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--telemetry", default=None, metavar="PATH",
+                   help="write a schema-validated JSON telemetry report "
+                        "of the run to PATH")
     p.set_defaults(func=_cmd_core)
 
     p = sub.add_parser("sessions", help="session-level trace statistics")
@@ -476,6 +532,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("dot", help="emit Graphviz DOT for a state machine")
     p.add_argument("--machine", choices=sorted(_MACHINES), default="two_level")
     p.set_defaults(func=_cmd_dot)
+
+    p = sub.add_parser("telemetry", help="inspect telemetry reports")
+    tsub = p.add_subparsers(dest="action", required=True)
+    ps = tsub.add_parser("summarize",
+                         help="render a report's per-phase breakdown")
+    ps.add_argument("report", help="path to a telemetry report JSON")
+    ps.set_defaults(func=_cmd_telemetry)
 
     return parser
 

@@ -163,7 +163,24 @@ class GenerationCheckpoint:
 
     # ------------------------------------------------------------------
     def save(self, path: "str | os.PathLike[str]") -> None:
-        """Atomically write the checkpoint (temp file + ``os.replace``)."""
+        """Atomically write the checkpoint (temp file + ``os.replace``).
+
+        Every snapshot is recorded on the ambient telemetry collector:
+        a ``checkpoint`` span entry plus the ``checkpoint_snapshots``
+        and ``checkpoint_bytes`` counters.
+        """
+        from ..telemetry import get_telemetry
+
+        with get_telemetry().span("checkpoint"):
+            self._save(path)
+        tele = get_telemetry()
+        tele.count("checkpoint_snapshots")
+        try:
+            tele.count("checkpoint_bytes", os.path.getsize(path))
+        except OSError:  # pragma: no cover - racing deletion
+            pass
+
+    def _save(self, path: "str | os.PathLike[str]") -> None:
         meta = {
             "format": CHECKPOINT_FORMAT,
             "key": dataclasses.asdict(self.key),
@@ -376,6 +393,11 @@ def generate_checkpointed(
             provenance=_rng_provenance(engine),
         ).save(checkpoint_path)
 
+    from ..telemetry import get_telemetry
+
+    tele = get_telemetry()
+    total_ues = sum(counts.values())
+
     if engine == "compiled":
         population = population_for_counts(
             model_set, counts, seed=seed, start_hour=start_hour
@@ -389,6 +411,7 @@ def generate_checkpointed(
             population.restore(checkpoint.population_state, hours_done)
         elif hours_done == 0:
             _save(carryover_state=population.snapshot()[0])
+        draws_before = population.rng_draws
         for _ in range(hours_done, num_hours):
             rows, times, events = population.advance_hour()
             if len(rows):
@@ -401,7 +424,10 @@ def generate_checkpointed(
                     )
                 )
             hours_done += 1
+            tele.count("ue_hours", total_ues)
+            tele.progress("generate", hours_done, num_hours)
             _save(carryover_state=population.snapshot()[0])
+        tele.count("rng_draws", population.rng_draws - draws_before)
     else:
         if checkpoint is not None:
             if checkpoint.sessions is None:
@@ -416,10 +442,14 @@ def generate_checkpointed(
             sessions = build_reference_sessions(
                 model_set, counts, seed=seed, start_hour=start_hour
             )
+            # One persona draw per freshly created session (see traffgen).
+            tele.count("rng_draws", len(sessions))
             _save(sessions=[s.snapshot() for s in sessions])
         for _ in range(hours_done, num_hours):
+            rng_draws = 0
             for position, session in enumerate(sessions):
                 times, events = session.advance_hour()
+                rng_draws += 2 * len(times)  # estimate, see traffgen
                 if times:
                     k = len(times)
                     parts.append(
@@ -431,6 +461,9 @@ def generate_checkpointed(
                         )
                     )
             hours_done += 1
+            tele.count("ue_hours", total_ues)
+            tele.count("rng_draws", rng_draws)
+            tele.progress("generate", hours_done, num_hours)
             _save(sessions=[s.snapshot() for s in sessions])
 
     columns = _concat_columns(parts)

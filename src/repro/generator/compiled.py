@@ -164,11 +164,67 @@ def _uniforms(
     return _to_unit(x0), _to_unit(x1), _to_unit(x2), _to_unit(x3)
 
 
+#: Past this rate the leading CDF term ``exp(-lam)`` underflows float64
+#: (at lam ~ 745) and term-by-term inversion is both impossible and
+#: pointlessly slow; counts switch to the normal approximation.
+_POISSON_INVERT_MAX = 700.0
+
+# Coefficients of Acklam's rational approximation to the inverse
+# standard-normal CDF (|relative error| < 1.2e-9).
+_PPF_A = (-3.969683028665376e+01, 2.209460984245205e+02,
+          -2.759285104469687e+02, 1.383577518672690e+02,
+          -3.066479806614716e+01, 2.506628277459239e+00)
+_PPF_B = (-5.447609879822406e+01, 1.615858368580409e+02,
+          -1.556989798598866e+02, 6.680131188771972e+01,
+          -1.328068155288572e+01)
+_PPF_C = (-7.784894002430293e-03, -3.223964580411365e-01,
+          -2.400758277161838e+00, -2.549732539343734e+00,
+          4.374664141464968e+00, 2.938163982698783e+00)
+_PPF_D = (7.784695709041462e-03, 3.224671290700398e-01,
+          2.445134137142996e+00, 3.754408661907416e+00)
+
+
+def _norm_ppf(u: np.ndarray) -> np.ndarray:
+    """Inverse standard-normal CDF (Acklam), vectorized."""
+    u = np.clip(u, 1e-12, 1.0 - 1e-12)
+    out = np.empty_like(u)
+    a, b, c, d = _PPF_A, _PPF_B, _PPF_C, _PPF_D
+    lo = u < 0.02425
+    hi = u > 1.0 - 0.02425
+    mid = ~(lo | hi)
+    if lo.any():
+        q = np.sqrt(-2.0 * np.log(u[lo]))
+        out[lo] = (
+            ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        ) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    if hi.any():
+        q = np.sqrt(-2.0 * np.log(1.0 - u[hi]))
+        out[hi] = -(
+            ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        ) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    if mid.any():
+        q = u[mid] - 0.5
+        r = q * q
+        out[mid] = (
+            ((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]
+        ) * q / (
+            ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+        )
+    return out
+
+
 def _poisson_from_uniform(u: np.ndarray, lam: float) -> np.ndarray:
-    """Poisson counts by CDF inversion of pre-drawn uniforms."""
+    """Poisson counts by CDF inversion of pre-drawn uniforms.
+
+    Above :data:`_POISSON_INVERT_MAX` the count comes from the normal
+    approximation ``N(lam, lam)`` (continuity-corrected) of the same
+    uniform — at such rates the two are statistically indistinguishable,
+    and exact term-by-term inversion is numerically impossible.
+    """
+    if lam > _POISSON_INVERT_MAX:
+        counts = np.rint(lam + math.sqrt(lam) * _norm_ppf(u) - 0.5)
+        return np.maximum(counts, 0.0).astype(np.int64)
     term = math.exp(-lam)
-    if term <= 0.0:
-        raise ValueError(f"overlay rate too large to invert (lambda={lam})")
     n = np.zeros(u.shape, dtype=np.int64)
     terms = np.full(u.shape, term)
     cdf = terms.copy()
@@ -472,6 +528,7 @@ class CompiledHourModel:
         k0: np.ndarray,
         k1: np.ndarray,
         hour_idx: int,
+        population: "Optional[CompiledPopulation]" = None,
     ) -> np.ndarray:
         """Cluster code per UE: assignment lookup, weighted draw if unknown."""
         if self.assign_keys.size:
@@ -483,6 +540,8 @@ class CompiledHourModel:
             cl = np.full(personas.shape, -1, dtype=np.int64)
         unknown = cl < 0
         if unknown.any():
+            if population is not None:
+                population.rng_draws += int(np.count_nonzero(unknown))
             u = _uniforms(
                 k0[unknown], k1[unknown], 0, hour_idx, _P_CLUSTER
             )[0]
@@ -536,7 +595,10 @@ def compile_model_set(model_set: ModelSet) -> CompiledModelSet:
     """Lower ``model_set``, memoizing the result on the instance."""
     cached = getattr(model_set, "_compiled_cache", None)
     if cached is None:
-        cached = CompiledModelSet(model_set)
+        from ..telemetry import get_telemetry
+
+        with get_telemetry().span("model-compile"):
+            cached = CompiledModelSet(model_set)
         model_set._compiled_cache = cached
     return cached
 
@@ -594,6 +656,10 @@ class CompiledPopulation:
         #: Chain state code per UE; -1 = no state yet (first-event model).
         self.state = np.full(n, -1, dtype=np.int32)
         self._next_hour_idx = 0
+        #: Uniform variates consumed so far (persona, first-event,
+        #: chain-step, and overlay draws) — exact for this engine, read
+        #: by the telemetry layer as the ``rng_draws`` counter.
+        self.rng_draws = n
 
     # ------------------------------------------------------------------
     def snapshot(self) -> Tuple[np.ndarray, int]:
@@ -665,7 +731,7 @@ class CompiledPopulation:
         n = rows.size
         k0 = self.k0[rows]
         k1 = self.k1[rows]
-        cl = chm.clusters_for(self.persona[rows], k0, k1, hour_idx)
+        cl = chm.clusters_for(self.persona[rows], k0, k1, hour_idx, self)
         stl = self.state[rows].astype(np.int64)
         t = np.full(n, float(hour_start))
         live = stl >= 0
@@ -673,6 +739,7 @@ class CompiledPopulation:
         # -- first event (UEs with no chain state yet) ------------------
         fresh = np.flatnonzero(~live)
         if fresh.size:
+            self.rng_draws += 3 * int(fresh.size)
             u0, u1, u2, _ = _uniforms(
                 k0[fresh], k1[fresh], 0, hour_idx, _P_FIRST
             )
@@ -758,6 +825,7 @@ class CompiledPopulation:
                 abr = np.arange(acoh.size)
             u_edge = ue_blk[abr, col]
             u_dwell = ud_blk[abr, col]
+            self.rng_draws += 2 * int(acoh.size)
 
             e = np.searchsorted(chm.sel_key, ast + u_edge, side="right")
             if chm.has_exp:
@@ -902,6 +970,7 @@ class CompiledPopulation:
                 if state_deg[st] == 0 or em >= max_events:
                     final_state = st
                     break
+            self.rng_draws += 2 * (j + 1)
             r += _DRAIN_BLOCK
         self.state[row] = final_state % chm.S
         if times:
@@ -932,6 +1001,7 @@ class CompiledPopulation:
             k1c = k1[member]
             for event_code, rate in chm.clusters[c].overlay:
                 lam = rate * SECONDS_PER_HOUR
+                self.rng_draws += int(rows_c.size)
                 u_n = _uniforms(
                     k0c, k1c, 0, hour_idx, _P_OVERLAY_N, np.uint64(event_code)
                 )[0]
@@ -943,6 +1013,7 @@ class CompiledPopulation:
                 slot = np.arange(total) - np.repeat(
                     np.cumsum(counts) - counts, counts
                 )
+                self.rng_draws += total
                 u_t = _uniforms(
                     k0c[rep],
                     k1c[rep],
@@ -993,15 +1064,23 @@ def generate_columns(
     first_ue_id: int,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Run ``num_hours`` and return (ue, time, event, device) columns."""
+    from ..telemetry import get_telemetry
+
+    tele = get_telemetry()
+    num_ues = len(population.device_codes)
+    draws_before = population.rng_draws
     ue_col, time_col, event_col, device_col = [], [], [], []
-    for _ in range(num_hours):
+    for hour in range(num_hours):
         rows, times, events = population.advance_hour()
+        tele.count("ue_hours", num_ues)
+        tele.progress("generate", hour + 1, num_hours)
         if len(rows) == 0:
             continue
         ue_col.append(first_ue_id + rows)
         time_col.append(times)
         event_col.append(events.astype(np.int8))
         device_col.append(population.device_codes[rows])
+    tele.count("rng_draws", population.rng_draws - draws_before)
     if not ue_col:
         empty = np.empty(0)
         return (

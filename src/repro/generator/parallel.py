@@ -47,6 +47,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from ..model.model_set import ModelSet
+from ..telemetry import RunTelemetry, get_telemetry, use_telemetry
 from ..trace.events import DeviceType
 from ..trace.trace import Trace
 from .compiled import CompiledPopulation, generate_columns
@@ -168,8 +169,14 @@ def _empty_columns() -> tuple:
 
 def _generate_chunk(
     args: Tuple[int, int, int, int, int, int, int, int, str]
-) -> tuple:
-    """Generate one chunk inside a worker process."""
+) -> Tuple[tuple, dict]:
+    """Generate one chunk inside a worker process.
+
+    Returns ``(columns, telemetry_record)``: the four trace columns plus
+    a chunk-local :meth:`RunTelemetry.child_record` the parent merges
+    into the run's collector.  Checkpoints store columns only, so the
+    record shape never touches the checkpoint format.
+    """
     (
         chunk_idx,
         device_code,
@@ -181,6 +188,33 @@ def _generate_chunk(
         num_hours,
         engine,
     ) = args
+    tele = RunTelemetry()
+    with use_telemetry(tele):
+        columns = _generate_chunk_columns(
+            chunk_idx,
+            device_code,
+            start_idx,
+            n,
+            first_ue_id,
+            seed,
+            start_hour,
+            num_hours,
+            engine,
+        )
+    return columns, tele.child_record()
+
+
+def _generate_chunk_columns(
+    chunk_idx: int,
+    device_code: int,
+    start_idx: int,
+    n: int,
+    first_ue_id: int,
+    seed: int,
+    start_hour: int,
+    num_hours: int,
+    engine: str,
+) -> tuple:
     assert _WORKER_MODEL is not None, "worker not initialized"
     if _WORKER_SCRATCH is not None:
         # Started-marker: lets the parent attribute a pool crash to the
@@ -210,6 +244,8 @@ def _generate_chunk(
 
     machine = model_set.machine()
     personas = np.asarray(model_set.device_ues[device_type], dtype=np.int64)
+    tele = get_telemetry()
+    rng_draws = 0
 
     ue_col, time_col, event_col, device_col = [], [], [], []
     for offset in range(n):
@@ -226,12 +262,15 @@ def _generate_chunk(
             rng=rng,
             machine=machine,
         )
+        rng_draws += 2 * len(times) + 1  # estimate, see traffgen
         if times:
             k = len(times)
             ue_col.append(np.full(k, first_ue_id + offset, dtype=np.int64))
             time_col.append(np.asarray(times, dtype=np.float64))
             event_col.append(np.asarray(events, dtype=np.int8))
             device_col.append(np.full(k, device_code, dtype=np.int8))
+    tele.count("ue_hours", n * num_hours)
+    tele.count("rng_draws", rng_draws)
     if not ue_col:
         return _empty_columns()
     return (
@@ -259,6 +298,7 @@ def generate_parallel(
     retry_backoff: float = 0.5,
     max_backoff: float = 30.0,
     fault_hook: Optional[Callable[[int, int], None]] = None,
+    telemetry: Optional[RunTelemetry] = None,
 ) -> Trace:
     """Generate a trace using a process pool.
 
@@ -276,6 +316,11 @@ def generate_parallel(
     is a test-only in-process injection point called as
     ``fault_hook(chunk_idx, attempt)`` before each in-process chunk
     (``processes=1`` only).
+
+    Workers collect chunk-local telemetry (UE-hours, RNG draws, compile
+    spans) that is merged into ``telemetry`` (default: the ambient
+    collector) as chunks finish; retries bump ``chunk_retries`` and
+    chunks restored from a checkpoint bump ``chunks_resumed``.
     """
     _check_engine(engine)
     validate_run_args(
@@ -295,8 +340,51 @@ def generate_parallel(
     if resume and checkpoint_path is None:
         raise ValueError("resume=True requires checkpoint_path")
 
+    tele = telemetry if telemetry is not None else get_telemetry()
+    with use_telemetry(tele), tele.span("generate-parallel"):
+        trace = _run_parallel(
+            model_set,
+            num_ues,
+            start_hour=start_hour,
+            num_hours=num_hours,
+            seed=seed,
+            first_ue_id=first_ue_id,
+            processes=processes,
+            chunk_size=chunk_size,
+            engine=engine,
+            checkpoint_path=checkpoint_path,
+            resume=resume,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            max_backoff=max_backoff,
+            fault_hook=fault_hook,
+        )
+    tele.count("events_emitted", len(trace))
+    tele.record_peak_rss()
+    return trace
+
+
+def _run_parallel(
+    model_set: ModelSet,
+    num_ues: DeviceCounts,
+    *,
+    start_hour: int,
+    num_hours: int,
+    seed: int,
+    first_ue_id: int,
+    processes: Optional[int],
+    chunk_size: int,
+    engine: str,
+    checkpoint_path: "Optional[str | os.PathLike[str]]",
+    resume: bool,
+    max_retries: int,
+    retry_backoff: float,
+    max_backoff: float,
+    fault_hook: Optional[Callable[[int, int], None]],
+) -> Trace:
     from .checkpoint import GenerationCheckpoint, RunKey, _rng_provenance
 
+    tele = get_telemetry()
     generator = TrafficGenerator(model_set)
     counts = generator.resolve_counts(num_ues)
     chunks = _plan_chunks(counts, chunk_size, first_ue_id)
@@ -322,6 +410,7 @@ def generate_parallel(
         if resume:
             checkpoint = GenerationCheckpoint.load_for_run(checkpoint_path, key)
             results = dict(checkpoint.chunk_columns)
+            tele.count("chunks_resumed", len(results))
 
     def _save() -> None:
         if checkpoint_path is None:
@@ -421,6 +510,8 @@ def _run_chunks_inline(
     save: Callable[[], None],
 ) -> None:
     """Run the chunks in-process (``processes=1``), with the retry policy."""
+    tele = get_telemetry()
+    tele.max_gauge("active_workers", 1)
     _init_worker(model_set.to_dict())
     for i in pending:
         attempt = 0
@@ -428,13 +519,17 @@ def _run_chunks_inline(
             try:
                 if fault_hook is not None:
                     fault_hook(i, attempt)
-                results[i] = _generate_chunk(tasks[i])
+                columns, record = _generate_chunk(tasks[i])
             except Exception as exc:
                 attempt += 1
+                tele.count("chunk_retries")
                 if attempt > max_retries:
                     raise chunk_failed(i, attempt, repr(exc)) from exc
                 backoff.sleep()
             else:
+                results[i] = columns
+                tele.merge_child(record)
+                tele.progress("generate-parallel", len(results), len(tasks))
                 save()
                 break
 
@@ -460,6 +555,7 @@ def _run_chunks_pool(
     counts as a confirmed failure.  Confirmed failures beyond
     ``max_retries`` raise :class:`ChunkFailedError`.
     """
+    tele = get_telemetry()
     confirmed: Dict[int, int] = {}
     streak: Dict[int, int] = {}
     causes: Dict[int, str] = {}
@@ -468,6 +564,8 @@ def _run_chunks_pool(
         isolated = sorted(i for i in todo if streak.get(i, 0) >= 2)
         single = bool(isolated)
         batch = isolated[:1] if single else sorted(todo)
+        workers = 1 if single else (processes or os.cpu_count() or 1)
+        tele.max_gauge("active_workers", min(len(batch), workers))
         scratch = tempfile.mkdtemp(prefix="repro-chunks-")
         broken = False
         failed_this_round = False
@@ -486,21 +584,26 @@ def _run_chunks_pool(
                 for future in as_completed(futures):
                     i = futures[future]
                     try:
-                        columns = future.result()
+                        columns, record = future.result()
                     except BrokenProcessPool:
                         broken = True
                     except Exception as exc:
                         failed_this_round = True
                         confirmed[i] = confirmed.get(i, 0) + 1
                         causes[i] = repr(exc)
+                        tele.count("chunk_retries")
                         if confirmed[i] > max_retries:
                             raise chunk_failed(
                                 i, confirmed[i], causes[i]
                             ) from exc
                     else:
                         results[i] = columns
+                        tele.merge_child(record)
                         todo.discard(i)
                         streak.pop(i, None)
+                        tele.progress(
+                            "generate-parallel", len(results), len(tasks)
+                        )
                         save()
             if broken:
                 failed_this_round = True
@@ -514,6 +617,7 @@ def _run_chunks_pool(
                 )
                 for i in suspects:
                     causes[i] = "worker process died (pool broken)"
+                    tele.count("chunk_retries")
                     if single:
                         # Alone in the pool: the crash is this chunk's.
                         confirmed[i] = confirmed.get(i, 0) + 1

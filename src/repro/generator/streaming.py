@@ -32,6 +32,7 @@ import os
 from typing import Iterator, List, Optional, Tuple
 
 from ..model.model_set import ModelSet
+from ..telemetry import RunTelemetry, get_telemetry, use_telemetry
 from ..trace.events import DeviceType, EventType
 from ..trace.trace import Event, Trace
 from .compiled import population_for_counts
@@ -49,13 +50,17 @@ def stream_events(
     engine: str = "compiled",
     checkpoint_path: "Optional[str | os.PathLike[str]]" = None,
     resume: bool = False,
+    telemetry: Optional[RunTelemetry] = None,
 ) -> Iterator[Event]:
     """Yield the population's events in global time order.
 
     Equivalent to iterating the trace from
     ``TrafficGenerator(model_set, engine=engine).generate(...)`` with
     identical arguments, hour by hour.  Arguments are validated eagerly
-    (before the first event is requested).
+    (before the first event is requested).  ``telemetry`` is captured
+    here (not at first ``next()``), so the stream reports to the
+    collector that was ambient at call time unless one is passed
+    explicitly.
     """
     _check_engine(engine)
     validate_run_args(
@@ -75,6 +80,7 @@ def stream_events(
             )
     if resume and checkpoint_path is None:
         raise ValueError("resume=True requires checkpoint_path")
+    tele = telemetry if telemetry is not None else get_telemetry()
     return _stream(
         model_set,
         counts,
@@ -85,6 +91,7 @@ def stream_events(
         engine=engine,
         checkpoint_path=checkpoint_path,
         resume=resume,
+        tele=tele,
     )
 
 
@@ -99,6 +106,7 @@ def _stream(
     engine: str,
     checkpoint_path,
     resume: bool,
+    tele: RunTelemetry,
 ) -> Iterator[Event]:
     from .checkpoint import (
         CheckpointError,
@@ -132,14 +140,17 @@ def _stream(
     def _save(population_state=None, sessions=None) -> None:
         if checkpoint_path is None:
             return
-        GenerationCheckpoint(
-            key=key,
-            hours_done=hours_done,
-            events_emitted=events_emitted,
-            population_state=population_state,
-            sessions=sessions,
-            provenance=_rng_provenance(engine),
-        ).save(checkpoint_path)
+        # The consumer controls which collector is ambient at next()
+        # time; snapshots must report to the stream's captured one.
+        with use_telemetry(tele):
+            GenerationCheckpoint(
+                key=key,
+                hours_done=hours_done,
+                events_emitted=events_emitted,
+                population_state=population_state,
+                sessions=sessions,
+                provenance=_rng_provenance(engine),
+            ).save(checkpoint_path)
 
     if engine == "compiled":
         population = population_for_counts(
@@ -154,9 +165,12 @@ def _stream(
             population.restore(checkpoint.population_state, hours_done)
         else:
             _save(population_state=population.snapshot()[0])
+        total_ues = sum(counts.values())
+        draws_before = population.rng_draws
         for _ in range(hours_done, num_hours):
-            rows, times, events = population.advance_hour()
-            devices = population.device_codes[rows]
+            with tele.span("stream"):
+                rows, times, events = population.advance_hour()
+                devices = population.device_codes[rows]
             for row, t, ev, dev in zip(rows, times, events, devices):
                 yield Event(
                     ue_id=first_ue_id + int(row),
@@ -166,6 +180,11 @@ def _stream(
                 )
             hours_done += 1
             events_emitted += len(rows)
+            tele.count("events_emitted", len(rows))
+            tele.count("ue_hours", total_ues)
+            tele.count("rng_draws", population.rng_draws - draws_before)
+            draws_before = population.rng_draws
+            tele.progress("stream", hours_done, num_hours)
             _save(population_state=population.snapshot()[0])
         return
 
@@ -182,17 +201,22 @@ def _stream(
         sessions = build_reference_sessions(
             model_set, counts, seed=seed, start_hour=start_hour
         )
+        # One persona draw per freshly created session (see traffgen).
+        tele.count("rng_draws", len(sessions))
         _save(sessions=[s.snapshot() for s in sessions])
 
     for _ in range(hours_done, num_hours):
         batch: List[Tuple[float, int, int, int]] = []
-        for position, session in enumerate(sessions):
-            times, events = session.advance_hour()
-            device = int(session.device_type)
-            uid = first_ue_id + position
-            for t, ev in zip(times, events):
-                batch.append((t, uid, ev, device))
-        batch.sort()
+        rng_draws = 0
+        with tele.span("stream"):
+            for position, session in enumerate(sessions):
+                times, events = session.advance_hour()
+                rng_draws += 2 * len(times)  # estimate, see traffgen
+                device = int(session.device_type)
+                uid = first_ue_id + position
+                for t, ev in zip(times, events):
+                    batch.append((t, uid, ev, device))
+            batch.sort()
         for t, uid, ev, dev in batch:
             yield Event(
                 ue_id=uid,
@@ -202,6 +226,10 @@ def _stream(
             )
         hours_done += 1
         events_emitted += len(batch)
+        tele.count("events_emitted", len(batch))
+        tele.count("ue_hours", len(sessions))
+        tele.count("rng_draws", rng_draws)
+        tele.progress("stream", hours_done, num_hours)
         _save(sessions=[s.snapshot() for s in sessions])
 
 

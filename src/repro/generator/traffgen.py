@@ -22,6 +22,7 @@ from typing import Dict, Mapping, Optional, Union
 import numpy as np
 
 from ..model.model_set import ModelSet
+from ..telemetry import RunTelemetry, get_telemetry, use_telemetry
 from ..trace.events import DeviceType
 from ..trace.trace import Trace
 from .compiled import generate_columns, population_for_counts
@@ -140,6 +141,7 @@ class TrafficGenerator:
         engine: Optional[str] = None,
         checkpoint_path: "Optional[str | os.PathLike[str]]" = None,
         resume: bool = False,
+        telemetry: Optional[RunTelemetry] = None,
     ) -> Trace:
         """Synthesize a trace for ``num_ues`` UEs over ``num_hours`` hours.
 
@@ -153,6 +155,10 @@ class TrafficGenerator:
         :mod:`repro.generator.checkpoint`); ``resume=True`` picks up an
         interrupted run from that file and returns the *complete* trace,
         bit-identical to an uninterrupted run with the same arguments.
+
+        ``telemetry`` selects the collector the run reports to (spans,
+        counters, progress — see :mod:`repro.telemetry`); by default the
+        ambient collector is used, so counters are always on.
         """
         engine = self.engine if engine is None else _check_engine(engine)
         validate_run_args(
@@ -171,6 +177,35 @@ class TrafficGenerator:
                     f"no fitted model for device type {device_type.name}"
                 )
 
+        tele = telemetry if telemetry is not None else get_telemetry()
+        with use_telemetry(tele), tele.span("generate"):
+            trace = self._generate_trace(
+                counts,
+                engine=engine,
+                start_hour=start_hour,
+                num_hours=num_hours,
+                seed=seed,
+                first_ue_id=first_ue_id,
+                checkpoint_path=checkpoint_path,
+                resume=resume,
+            )
+        tele.count("events_emitted", len(trace))
+        tele.record_peak_rss()
+        return trace
+
+    # ------------------------------------------------------------------
+    def _generate_trace(
+        self,
+        counts: Dict[DeviceType, int],
+        *,
+        engine: str,
+        start_hour: int,
+        num_hours: int,
+        seed: int,
+        first_ue_id: int,
+        checkpoint_path: "Optional[str | os.PathLike[str]]",
+        resume: bool,
+    ) -> Trace:
         if checkpoint_path is not None or resume:
             from .checkpoint import generate_checkpointed
 
@@ -196,6 +231,10 @@ class TrafficGenerator:
             return Trace(*columns, validate=False)
 
         machine = self.model_set.machine()
+        tele = get_telemetry()
+        total_ues = sum(counts.values())
+        rng_draws = 0
+        done = 0
 
         ue_col = []
         time_col = []
@@ -233,7 +272,15 @@ class TrafficGenerator:
                     event_col.append(np.asarray(events, dtype=np.int8))
                     device_col.append(np.full(n, int(device_type), dtype=np.int8))
                 ue_id += 1
+                # ~2 draws per chain event (edge + dwell) plus the
+                # persona draw: the reference stream is stateful, so the
+                # counter is an estimate here (exact for "compiled").
+                rng_draws += 2 * n + 1
+                done += 1
+                tele.progress("generate", done, total_ues)
 
+        tele.count("ue_hours", total_ues * num_hours)
+        tele.count("rng_draws", rng_draws)
         if not ue_col:
             return Trace.empty()
         return Trace(

@@ -21,6 +21,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from ..telemetry import RunTelemetry, get_telemetry
 from ..trace.events import EventType
 from ..trace.trace import Trace
 from .procedures import Procedure, functions_for, procedures_for
@@ -136,13 +137,25 @@ class CoreNetworkSimulator:
         self.seed = seed
 
     # ------------------------------------------------------------------
-    def process(self, trace: Trace) -> CoreReport:
+    def process(
+        self, trace: Trace, *, telemetry: Optional[RunTelemetry] = None
+    ) -> CoreReport:
         """Run the trace through the core and report per-NF/per-procedure stats.
 
         A zero-event trace yields an empty report (``num_events == 0``,
         no function or procedure entries, ``bottleneck() is None``)
-        rather than raising.
+        rather than raising.  The run is timed under the ``mcn-drive``
+        span and counts ``mcn_events`` / ``mcn_messages`` on
+        ``telemetry`` (default: the ambient collector).
         """
+        tele = telemetry if telemetry is not None else get_telemetry()
+        with tele.span("mcn-drive"):
+            report = self._process(trace, rng=np.random.default_rng(self.seed))
+        tele.count("mcn_events", report.num_events)
+        tele.count("mcn_messages", report.num_messages)
+        return report
+
+    def _process(self, trace: Trace, *, rng: np.random.Generator) -> CoreReport:
         if len(trace) == 0:
             return CoreReport(
                 core=self.core,
@@ -152,7 +165,6 @@ class CoreNetworkSimulator:
                 functions={},
                 procedures={},
             )
-        rng = np.random.default_rng(self.seed)
         t0 = float(trace.times[0])
         queues = {
             nf: _FunctionQueue(nf, self.workers[nf], t0)

@@ -1,0 +1,31 @@
+"""Run telemetry & observability for generation and core-drive runs.
+
+See :mod:`repro.telemetry.collector` for the collection model (spans /
+counters / gauges / progress callbacks) and
+:mod:`repro.telemetry.report` for the versioned JSON report format.
+"""
+
+from .collector import ProgressEvent, RunTelemetry, get_telemetry, use_telemetry
+from .report import (
+    REPORT_FORMAT,
+    REPORT_VERSION,
+    TelemetryReportError,
+    load_report,
+    load_schema,
+    summarize_report,
+    validate_report,
+)
+
+__all__ = [
+    "REPORT_FORMAT",
+    "REPORT_VERSION",
+    "ProgressEvent",
+    "RunTelemetry",
+    "TelemetryReportError",
+    "get_telemetry",
+    "load_report",
+    "load_schema",
+    "summarize_report",
+    "use_telemetry",
+    "validate_report",
+]

@@ -1,0 +1,182 @@
+"""Telemetry report schema validation and rendering.
+
+The report format is *versioned* and *schema-checked*: the shape lives
+in ``telemetry.schema.json`` (a standard JSON-Schema document, so
+external consumers can validate with off-the-shelf tooling), and
+:func:`validate_report` enforces it here with a small built-in
+interpreter of the subset the schema uses — the library stays
+zero-dependency.
+
+:func:`summarize_report` renders the operator view: a per-phase
+breakdown table (span wall/CPU time with share-of-run percentages),
+followed by the counters and gauges.  The CLI exposes it as
+``repro telemetry summarize <report.json>``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List
+
+__all__ = [
+    "REPORT_FORMAT",
+    "REPORT_VERSION",
+    "TelemetryReportError",
+    "load_report",
+    "load_schema",
+    "summarize_report",
+    "validate_report",
+]
+
+REPORT_FORMAT = "repro-telemetry-report"
+REPORT_VERSION = 1
+
+_SCHEMA_PATH = os.path.join(os.path.dirname(__file__), "telemetry.schema.json")
+_SCHEMA_CACHE: Dict[str, Any] = {}
+
+
+class TelemetryReportError(ValueError):
+    """A telemetry report does not conform to the published schema."""
+
+
+def load_schema() -> Dict[str, Any]:
+    """The packaged JSON-Schema document (cached)."""
+    if not _SCHEMA_CACHE:
+        with open(_SCHEMA_PATH) as fh:
+            _SCHEMA_CACHE.update(json.load(fh))
+    return dict(_SCHEMA_CACHE)
+
+
+# ---------------------------------------------------------------------------
+# Minimal JSON-Schema interpreter (the subset telemetry.schema.json uses)
+# ---------------------------------------------------------------------------
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+}
+
+
+def _check(value: Any, schema: Dict[str, Any], path: str, errors: List[str]) -> None:
+    if "const" in schema:
+        if value != schema["const"]:
+            errors.append(
+                f"{path}: expected {schema['const']!r}, got {value!r}"
+            )
+        return
+    expected = schema.get("type")
+    if expected is not None:
+        py_type = _TYPES[expected]
+        ok = isinstance(value, py_type) and not (
+            expected in ("number", "integer") and isinstance(value, bool)
+        )
+        if not ok:
+            errors.append(f"{path}: expected {expected}, got {type(value).__name__}")
+            return
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if value < schema["minimum"]:
+            errors.append(f"{path}: {value!r} is below minimum {schema['minimum']}")
+    if not isinstance(value, dict):
+        return
+    properties = schema.get("properties", {})
+    for name in schema.get("required", []):
+        if name not in value:
+            errors.append(f"{path}: missing required key {name!r}")
+    additional = schema.get("additionalProperties", True)
+    for name, item in value.items():
+        child_path = f"{path}.{name}" if path else name
+        if name in properties:
+            _check(item, properties[name], child_path, errors)
+        elif isinstance(additional, dict):
+            _check(item, additional, child_path, errors)
+        elif additional is False:
+            errors.append(f"{path}: unexpected key {name!r}")
+
+
+def validate_report(report: Any) -> Dict[str, Any]:
+    """Check ``report`` against the published schema.
+
+    Returns the report on success; raises :class:`TelemetryReportError`
+    naming every violation otherwise.
+    """
+    if not isinstance(report, dict):
+        raise TelemetryReportError(
+            f"telemetry report must be an object, got {type(report).__name__}"
+        )
+    errors: List[str] = []
+    _check(report, load_schema(), "", errors)
+    if errors:
+        raise TelemetryReportError(
+            "telemetry report does not match schema — " + "; ".join(errors)
+        )
+    return report
+
+
+def load_report(path: "str | os.PathLike[str]") -> Dict[str, Any]:
+    """Read and validate a telemetry report file."""
+    try:
+        with open(os.fspath(path)) as fh:
+            report = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise TelemetryReportError(f"cannot read telemetry report {path}: {exc}") from exc
+    return validate_report(report)
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def summarize_report(report: Dict[str, Any]) -> str:
+    """Render the per-phase breakdown plus counters and gauges as text."""
+    from ..validation import format_table
+
+    validate_report(report)
+    sections: List[str] = []
+
+    run = report["run"]
+    if run:
+        pairs = ", ".join(f"{k}={run[k]}" for k in sorted(run))
+        sections.append(f"run: {pairs}")
+
+    spans = report["spans"]
+    if spans:
+        total_wall = sum(s["wall_s"] for s in spans.values())
+        rows = [
+            [
+                name,
+                span["count"],
+                f"{span['wall_s'] * 1e3:,.1f} ms",
+                f"{span['cpu_s'] * 1e3:,.1f} ms",
+                f"{100.0 * span['wall_s'] / total_wall:.1f}%" if total_wall else "-",
+            ]
+            for name, span in sorted(
+                spans.items(), key=lambda kv: -kv[1]["wall_s"]
+            )
+        ]
+        sections.append(
+            format_table(
+                ["phase", "count", "wall", "cpu", "share"],
+                rows,
+                title="Per-phase breakdown",
+            )
+        )
+
+    counters = report["counters"]
+    if counters:
+        rows = [[name, f"{counters[name]:,}"] for name in sorted(counters)]
+        sections.append(format_table(["counter", "total"], rows, title="Counters"))
+
+    gauges = report["gauges"]
+    if gauges:
+        rows = [[name, f"{gauges[name]:,.0f}"] for name in sorted(gauges)]
+        sections.append(format_table(["gauge", "value"], rows, title="Gauges"))
+
+    if not (spans or counters or gauges):
+        sections.append("(empty telemetry report)")
+    return "\n\n".join(sections)

@@ -17,6 +17,7 @@ import numpy as np
 import pytest
 from scipy import stats
 
+from repro.baselines import METHOD_NAMES, fit_method
 from repro.generator import (
     ENGINES,
     TrafficGenerator,
@@ -25,6 +26,7 @@ from repro.generator import (
     stream_to_trace,
 )
 from repro.generator.compiled import philox4x64
+from repro.model import scale_to_nsa, scale_to_sa
 from repro.trace import DeviceType, EventType
 
 from conftest import TRACE_START_HOUR, make_trace
@@ -231,8 +233,6 @@ class TestStructuralLimits:
     def test_absorbing_ue_parks_until_model_offers_exit(self, tiny_trace):
         """UEs whose state has no outgoing edges stop emitting chain
         events but are not dropped from the population."""
-        from repro.baselines import fit_method
-
         ms = fit_method("ours", tiny_trace, theta_n=5, trace_start_hour=0)
         trace = TrafficGenerator(ms).generate(
             {P: 50}, start_hour=0, num_hours=3, seed=4
@@ -242,3 +242,200 @@ class TestStructuralLimits:
         if len(trace):
             _, per_ue = np.unique(trace.ue_ids, return_counts=True)
             assert per_ue.max() < 10_000
+
+
+# ---------------------------------------------------------------------------
+# Differential sweep: every method x RAT x device type
+# ---------------------------------------------------------------------------
+
+#: Radio access technologies the sweep covers.  LTE is the fitted model;
+#: NSA/SA are derived with the paper's §6 parameter scaling.
+RATS = ("lte", "nsa", "sa")
+
+_SWEEP_POP = {
+    DeviceType.PHONE: 50,
+    DeviceType.CONNECTED_CAR: 25,
+    DeviceType.TABLET: 15,
+}
+_SWEEP_KWARGS = dict(start_hour=TRACE_START_HOUR, num_hours=2, seed=13)
+
+#: §6 parameter scaling is defined on the paper's two-level machine, so
+#: only V2/Ours have NSA/SA variants; Base/V1 (flat EMM/ECM machine)
+#: participate as LTE only.
+def _rats_for(method: str):
+    return RATS if method in ("v2", "ours") else ("lte",)
+
+
+_SWEEP_COMBOS = [
+    (method, rat) for method in METHOD_NAMES for rat in _rats_for(method)
+]
+
+
+@pytest.fixture(scope="session")
+def sweep_model_sets(ground_truth_trace):
+    """``(method, rat) -> ModelSet``: all four methods, every valid RAT."""
+    sets = {}
+    for method in METHOD_NAMES:
+        lte = fit_method(
+            method,
+            ground_truth_trace,
+            theta_n=25,
+            trace_start_hour=TRACE_START_HOUR,
+        )
+        sets[(method, "lte")] = lte
+        if "nsa" in _rats_for(method):
+            sets[(method, "nsa")] = scale_to_nsa(lte)
+            sets[(method, "sa")] = scale_to_sa(lte)
+    return sets
+
+
+@pytest.fixture(scope="session")
+def sweep_traces(sweep_model_sets):
+    """``(method, rat) -> (compiled_trace, reference_trace)``."""
+    traces = {}
+    for combo, model_set in sweep_model_sets.items():
+        gen = TrafficGenerator(model_set)
+        traces[combo] = (
+            gen.generate(_SWEEP_POP, engine="compiled", **_SWEEP_KWARGS),
+            gen.generate(_SWEEP_POP, engine="reference", **_SWEEP_KWARGS),
+        )
+    return traces
+
+
+def _per_transition_gaps(trace, cap=20, min_group=4):
+    """Within-UE inter-event gaps keyed by the transition's destination
+    event code — the observable footprint of each chain transition's
+    dwell distribution.
+
+    The raw gap populations are dominated by heavy-tail noise: baseline
+    fits produce near-singleton clusters whose overlay rates reach
+    hundreds of events per UE-hour, so a single UE landing in such a
+    cluster (the engines use independent RNG streams for persona draws)
+    swings a transition's sample by thousands of points.  Two
+    robustness measures make the statistic compare dwell *shapes*
+    instead of which UE drew which persona: each (UE, transition)
+    contributes at most ``cap`` gaps, and each contribution is
+    normalized by its own mean (cancelling per-UE rate scale).  Groups
+    smaller than ``min_group`` carry no shape signal and are dropped.
+    """
+    order = np.lexsort((trace.times, trace.ue_ids))
+    ue = trace.ue_ids[order]
+    t = trace.times[order]
+    ev = trace.event_types[order]
+    same = ue[1:] == ue[:-1]
+    gaps = np.diff(t)[same]
+    dest = ev[1:][same].astype(np.int64)
+    ue_g = ue[1:][same].astype(np.int64)
+
+    key = ue_g * 64 + dest  # event codes are tiny; 64 keeps keys unique
+    order2 = np.argsort(key, kind="stable")
+    keys = key[order2]
+    gaps2 = gaps[order2]
+    dest2 = dest[order2]
+    starts = np.r_[0, np.flatnonzero(np.diff(keys)) + 1]
+    counts = np.diff(np.r_[starts, keys.size])
+
+    out = {}
+    for start, n in zip(starts, counts):
+        if n < min_group:
+            continue
+        segment = gaps2[start : start + min(n, cap)]
+        mean = segment.mean()
+        if mean <= 0:
+            continue
+        out.setdefault(int(dest2[start]), []).append(segment / mean)
+    return {code: np.concatenate(parts) for code, parts in out.items()}
+
+
+def _per_ue_counts(trace):
+    """Events per UE, for every UE that emitted at least one event."""
+    _, counts = np.unique(trace.ue_ids, return_counts=True)
+    return counts
+
+
+@pytest.mark.slow
+class TestDifferentialSweep:
+    """Compiled vs reference across method x RAT x device type.
+
+    The two engines share the fitted model but draw from different RNG
+    streams, so equivalence is statistical: for every combination the
+    per-transition dwell distributions must agree under two-sample KS
+    on the capped, mean-normalized gap statistic (see
+    :func:`_per_transition_gaps`).  Seeds are fixed, so every assertion
+    is deterministic.  KS p-values are aggregated per combination (most
+    transitions must clear alpha=0.01 and none may collapse outright)
+    because a sweep this wide makes isolated small p-values expected
+    under the null, and KS groups sharing UEs are not independent —
+    combinations where overlay events concentrate in a handful of
+    heavy-persona UEs (e.g. NSA-scaled handover on small device
+    populations) legitimately sit in the 1e-5 range without any
+    per-gap distributional divergence.
+    """
+
+    @pytest.mark.parametrize("method,rat", _SWEEP_COMBOS)
+    @pytest.mark.parametrize("device", list(DeviceType))
+    def test_per_transition_ks(self, sweep_traces, method, rat, device):
+        compiled, reference = sweep_traces[(method, rat)]
+        compiled = compiled.filter_device(device)
+        reference = reference.filter_device(device)
+        assert len(compiled) > 0 and len(reference) > 0
+
+        compiled_gaps = _per_transition_gaps(compiled)
+        reference_gaps = _per_transition_gaps(reference)
+        pvalues = []
+        for code, gaps_c in compiled_gaps.items():
+            gaps_r = reference_gaps.get(code)
+            if gaps_r is None or len(gaps_c) < 30 or len(gaps_r) < 30:
+                continue  # too sparse for a meaningful KS decision
+            pvalues.append(float(stats.ks_2samp(gaps_c, gaps_r).pvalue))
+        assert pvalues, (
+            f"{method}/{rat}/{device.name}: no transition had enough "
+            "samples for a KS comparison"
+        )
+        pvalues = np.asarray(pvalues)
+        assert (pvalues > 0.01).mean() >= 0.5, pvalues
+        assert pvalues.min() > 1e-7, pvalues
+
+    @pytest.mark.parametrize("method,rat", _SWEEP_COMBOS)
+    def test_volume_is_comparable(self, sweep_traces, method, rat):
+        """The typical UE emits a comparable number of events under
+        either engine.  The *median* per-UE count is the right volume
+        statistic: raw totals are swung by single UEs landing in
+        extreme-rate overlay clusters (different persona RNG streams),
+        which is rate noise, not an engine divergence."""
+        compiled, reference = sweep_traces[(method, rat)]
+        assert len(reference) > 0
+        median_c = float(np.median(_per_ue_counts(compiled)))
+        median_r = float(np.median(_per_ue_counts(reference)))
+        assert median_r > 0
+        assert 0.5 < median_c / median_r < 2.0
+
+    @pytest.mark.parametrize("method,rat", _SWEEP_COMBOS)
+    def test_event_totals_identical_per_seed(
+        self, sweep_model_sets, sweep_traces, method, rat
+    ):
+        """Same seed, same engine => identical traces (hence identical
+        per-device event-count totals), for every combination."""
+        compiled, reference = sweep_traces[(method, rat)]
+        gen = TrafficGenerator(sweep_model_sets[(method, rat)])
+        assert compiled == gen.generate(
+            _SWEEP_POP, engine="compiled", **_SWEEP_KWARGS
+        )
+        assert reference == gen.generate(
+            _SWEEP_POP, engine="reference", **_SWEEP_KWARGS
+        )
+
+    @pytest.mark.parametrize("device", list(DeviceType))
+    def test_sa_emits_only_nr_event_codes(self, sweep_traces, device):
+        """SA has no tracking-area-update procedure: every emitted code
+        must be a valid :class:`NrEventType` member (which has no TAU),
+        for any device type and either engine."""
+        from repro.trace import NrEventType
+
+        valid = {int(code) for code in NrEventType}
+        compiled, reference = sweep_traces[("ours", "sa")]
+        for trace in (compiled, reference):
+            codes = set(
+                np.unique(trace.filter_device(device).event_types).tolist()
+            )
+            assert codes <= valid

@@ -1,14 +1,23 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
+import itertools
+import pathlib
+import tempfile
+
 import numpy as np
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.clustering import adaptive_cluster
+from repro.clustering.quadtree import DEFAULT_THETA_F
 from repro.distributions import EmpiricalCDF, Exponential, Pareto, Weibull
+from repro.generator import TrafficGenerator, UeSession, generate_parallel
+from repro.generator.compiled import CompiledPopulation
 from repro.stats import ecdf, kolmogorov_sf, ks_distance_to, max_y_distance
 from repro.statemachines import replay_ue, two_level_machine
 from repro.trace import DeviceType, EventType, Trace
+
+from conftest import TRACE_START_HOUR
 
 SETTINGS = settings(
     max_examples=50, suppress_health_check=[HealthCheck.too_slow], deadline=None
@@ -106,25 +115,26 @@ class TestStatsInvariants:
         assert 0.0 <= q <= 1.0
 
 
+cluster_features = st.dictionaries(
+    st.integers(min_value=0, max_value=10_000),
+    st.lists(
+        st.floats(min_value=0, max_value=1e4, allow_nan=False),
+        min_size=4,
+        max_size=4,
+    ),
+    min_size=1,
+    max_size=60,
+)
+cluster_theta_n = st.integers(min_value=1, max_value=50)
+
+
 class TestClusteringInvariants:
     @SETTINGS
-    @given(
-        st.dictionaries(
-            st.integers(min_value=0, max_value=10_000),
-            st.lists(
-                st.floats(min_value=0, max_value=1e4, allow_nan=False),
-                min_size=4,
-                max_size=4,
-            ),
-            min_size=1,
-            max_size=60,
-        ),
-        st.integers(min_value=1, max_value=50),
-    )
+    @given(cluster_features, cluster_theta_n)
     def test_partition_properties(self, raw, theta_n):
         features = {ue: np.asarray(v) for ue, v in raw.items()}
         result = adaptive_cluster(features, theta_n=theta_n)
-        # Exact partition.
+        # Exact partition: disjoint clusters that cover every UE.
         members = [ue for c in result.clusters for ue in c.ue_ids]
         assert sorted(members) == sorted(features)
         assert len(members) == len(set(members))
@@ -132,6 +142,59 @@ class TestClusteringInvariants:
         for cluster in result.clusters:
             for ue in cluster.ue_ids:
                 assert result.assignment[ue] == cluster.cluster_id
+
+    @SETTINGS
+    @given(cluster_features, cluster_theta_n)
+    def test_members_lie_in_cell_bounds(self, raw, theta_n):
+        features = {ue: np.asarray(v) for ue, v in raw.items()}
+        result = adaptive_cluster(features, theta_n=theta_n)
+        for cluster in result.clusters:
+            points = np.vstack([features[ue] for ue in cluster.ue_ids])
+            assert np.all(points >= cluster.lower - 1e-9)
+            assert np.all(points <= cluster.upper + 1e-9)
+
+    @SETTINGS
+    @given(cluster_features, cluster_theta_n)
+    def test_theta_n_stopping_rule(self, raw, theta_n):
+        """A cluster at or above ``theta_n`` only survives unsplit when
+        the paper's other stop condition holds (every feature's spread
+        below ``theta_f``) or when a midpoint split cannot separate its
+        members (degenerate cell)."""
+        features = {ue: np.asarray(v) for ue, v in raw.items()}
+        result = adaptive_cluster(features, theta_n=theta_n)
+        for cluster in result.clusters:
+            if cluster.size < theta_n:
+                continue
+            points = np.vstack([features[ue] for ue in cluster.ue_ids])
+            spread = points.max(axis=0) - points.min(axis=0)
+            if np.all(spread < DEFAULT_THETA_F):
+                continue
+            mid = (cluster.lower + cluster.upper) / 2.0
+            bits = (points >= mid).astype(np.int64)
+            child = bits @ (1 << np.arange(points.shape[1]))
+            assert len(np.unique(child)) == 1, (
+                f"cluster {cluster.cluster_id} has {cluster.size} >= "
+                f"{theta_n} UEs, spread {spread}, yet a midpoint split "
+                "would have separated it"
+            )
+
+    @SETTINGS
+    @given(cluster_features, cluster_theta_n, st.randoms())
+    def test_permutation_invariance(self, raw, theta_n, rnd):
+        """The partition is a function of the feature *set*: feeding the
+        UEs in any order yields identical clusters and assignment."""
+        features = {ue: np.asarray(v) for ue, v in raw.items()}
+        items = list(features.items())
+        rnd.shuffle(items)
+        baseline = adaptive_cluster(features, theta_n=theta_n)
+        shuffled = adaptive_cluster(dict(items), theta_n=theta_n)
+        assert baseline.assignment == shuffled.assignment
+        assert [c.ue_ids for c in baseline.clusters] == [
+            c.ue_ids for c in shuffled.clusters
+        ]
+        for a, b in zip(baseline.clusters, shuffled.clusters):
+            assert np.array_equal(a.lower, b.lower)
+            assert np.array_equal(a.upper, b.upper)
 
 
 valid_event_walks = st.lists(
@@ -183,3 +246,136 @@ class TestTraceInvariants:
         assert total == len(tr)
         if len(tr):
             assert abs(sum(tr.breakdown().values()) - 1.0) < 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint/resume round-trips under arbitrary interruption points
+# ---------------------------------------------------------------------------
+
+CK_POP = 12
+CK_RUN = dict(start_hour=TRACE_START_HOUR, num_hours=2)
+CK_SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: ``advance_hour`` call counts per engine for ``CK_POP`` UEs over the
+#: run: the compiled engine steps once per hour for the whole
+#: population, the reference engine once per (UE, hour).
+_CK_CALLS = {
+    "compiled": CK_RUN["num_hours"],
+    "reference": CK_POP * CK_RUN["num_hours"],
+}
+
+
+class TestCheckpointRoundTripProperties:
+    """An interrupted checkpointed run, resumed, is bit-identical to an
+    uninterrupted run with the same arguments — wherever the interrupt
+    lands (hypothesis draws the kill point), for either engine."""
+
+    _clean = {}
+
+    def _clean_trace(self, model_set, engine, seed):
+        """Uninterrupted serial oracle, cached across examples.  The
+        parallel path is specified to be bit-identical to serial, so
+        one oracle serves both round-trip properties."""
+        key = (engine, seed)
+        if key not in self._clean:
+            self._clean[key] = TrafficGenerator(model_set).generate(
+                CK_POP, engine=engine, seed=seed, **CK_RUN
+            )
+        return self._clean[key]
+
+    @CK_SETTINGS
+    @given(
+        engine=st.sampled_from(["compiled", "reference"]),
+        seed=st.integers(min_value=0, max_value=5),
+        kill_frac=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_interrupt_any_hour_resume_bit_identical(
+        self, ours_model_set, engine, seed, kill_frac
+    ):
+        gen = TrafficGenerator(ours_model_set)
+        clean = self._clean_trace(ours_model_set, engine, seed)
+        # kill_frac == 1.0 maps past the last call: the run completes
+        # and resume-after-completion must still reproduce it.
+        kill_after = int(kill_frac * _CK_CALLS[engine])
+
+        target = CompiledPopulation if engine == "compiled" else UeSession
+        original = target.advance_hour
+        calls = itertools.count()
+
+        def dying(self, *args, **kwargs):
+            if next(calls) >= kill_after:
+                raise KeyboardInterrupt
+            return original(self, *args, **kwargs)
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = pathlib.Path(tmp) / "run.npz"
+            target.advance_hour = dying
+            try:
+                try:
+                    gen.generate(
+                        CK_POP,
+                        engine=engine,
+                        seed=seed,
+                        checkpoint_path=path,
+                        **CK_RUN,
+                    )
+                except KeyboardInterrupt:
+                    pass
+            finally:
+                target.advance_hour = original
+            resumed = gen.generate(
+                CK_POP,
+                engine=engine,
+                seed=seed,
+                checkpoint_path=path,
+                resume=True,
+                **CK_RUN,
+            )
+        assert resumed == clean
+
+    @CK_SETTINGS
+    @given(
+        engine=st.sampled_from(["compiled", "reference"]),
+        seed=st.integers(min_value=0, max_value=5),
+        kill_chunk=st.integers(min_value=0, max_value=3),
+    )
+    def test_parallel_interrupt_any_chunk_resume_bit_identical(
+        self, ours_model_set, engine, seed, kill_chunk
+    ):
+        """``generate_parallel`` killed after an arbitrary number of
+        completed chunks resumes to the serial oracle bit-for-bit."""
+        clean = self._clean_trace(ours_model_set, engine, seed)
+        kwargs = dict(
+            engine=engine, seed=seed, processes=1, chunk_size=4, **CK_RUN
+        )
+
+        def interrupt_hook(chunk_idx, attempt):
+            # Chunks run in index order inline; >= kill_chunk means
+            # exactly kill_chunk chunks have checkpointed results.
+            if chunk_idx >= kill_chunk:
+                raise KeyboardInterrupt
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = pathlib.Path(tmp) / "run.npz"
+            try:
+                generate_parallel(
+                    ours_model_set,
+                    CK_POP,
+                    checkpoint_path=path,
+                    fault_hook=interrupt_hook,
+                    **kwargs,
+                )
+            except KeyboardInterrupt:
+                pass
+            resumed = generate_parallel(
+                ours_model_set,
+                CK_POP,
+                checkpoint_path=path,
+                resume=True,
+                **kwargs,
+            )
+        assert resumed == clean
