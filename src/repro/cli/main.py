@@ -24,10 +24,12 @@ telemetry  summarize a telemetry report written by --telemetry
 
 Traces are read/written by extension: ``.npz`` (compact) or ``.csv``.
 Model sets are JSON, gzipped when the path ends in ``.gz``.  The
-``generate`` and ``core`` commands take ``--telemetry PATH`` to write a
-versioned, schema-validated observability report of the run (see
-:mod:`repro.telemetry`); ``repro telemetry summarize PATH`` renders its
-per-phase breakdown.
+``fit``, ``generate`` and ``core`` commands take ``--telemetry PATH``
+to write a versioned, schema-validated observability report of the run
+(see :mod:`repro.telemetry`); ``repro telemetry summarize PATH``
+renders its per-phase breakdown.  ``fit`` defaults to the compiled
+engine and the content-addressed model cache under ``~/.cache/repro``
+(``--engine reference``, ``--no-cache``, ``--cache-dir`` override).
 """
 
 from __future__ import annotations
@@ -43,7 +45,14 @@ from ..generator.parallel import generate_parallel
 from ..groundtruth import simulate_ground_truth
 from ..mcn import CoreNetworkSimulator, MmeSimulator
 from ..harness import evaluate_methods
-from ..model import ModelSet, scale_to_nsa, scale_to_sa, validate_model_set
+from ..model import (
+    FIT_ENGINES,
+    ModelSet,
+    default_cache_dir,
+    scale_to_nsa,
+    scale_to_sa,
+    validate_model_set,
+)
 from ..model.inspect import describe_model_set
 from ..statemachines import (
     ecm_machine,
@@ -82,9 +91,9 @@ _MACHINES = {
 }
 
 
-def _load_trace(path: str) -> Trace:
+def _load_trace(path: str, *, mmap: bool = False) -> Trace:
     if path.endswith(".npz"):
-        return read_npz(path)
+        return read_npz(path, mmap=mmap)
     if path.endswith(".csv"):
         return read_csv(path)
     raise SystemExit(f"unsupported trace extension: {path} (use .npz or .csv)")
@@ -132,7 +141,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_fit(args: argparse.Namespace) -> int:
-    trace = _load_trace(args.trace)
+    tele = RunTelemetry(
+        {
+            "command": "fit",
+            "trace": args.trace,
+            "method": args.method,
+            "engine": args.engine,
+            "processes": args.processes if args.processes is not None else 1,
+        }
+    )
+    if args.progress:
+        tele.on_progress(_print_progress)
+    # Memory-map uncompressed NPZ traces so multi-GB training data is
+    # not materialized twice (loader copy + Trace columns).
+    with tele.span("trace-load"):
+        trace = _load_trace(args.trace, mmap=True)
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
     model = fit_method(
         args.method,
         trace,
@@ -140,9 +164,20 @@ def _cmd_fit(args: argparse.Namespace) -> int:
         theta_n=args.theta_n,
         trace_start_hour=args.start_hour,
         max_cdf_points=args.max_cdf_points,
+        engine=args.engine,
+        processes=args.processes,
+        cache_dir=cache_dir,
+        telemetry=tele,
     )
-    model.save(args.out)
-    print(f"fitted {model.num_models} models ({args.method}) -> {args.out}")
+    with tele.span("model-save"):
+        model.save(args.out)
+    cached = " (cache hit)" if tele.counters.get("cache_hits") else ""
+    print(
+        f"fitted {model.num_models} models ({args.method}, {args.engine})"
+        f"{cached} -> {args.out}"
+    )
+    if args.telemetry:
+        tele.write_report(args.telemetry)
     return 0
 
 
@@ -432,6 +467,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--theta-n", type=int, default=1000)
     p.add_argument("--start-hour", type=int, default=0)
     p.add_argument("--max-cdf-points", type=int, default=512)
+    p.add_argument("--engine", choices=FIT_ENGINES, default="compiled",
+                   help="fitting engine (both produce identical models)")
+    p.add_argument("--processes", type=int, default=None,
+                   help="fit worker processes (0 = all CPUs; default serial)")
+    p.add_argument("--cache-dir", default=None,
+                   help="model cache directory (default ~/.cache/repro)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="skip the content-addressed model cache")
+    p.add_argument("--telemetry", default=None,
+                   help="write a JSON telemetry report of the fit")
+    p.add_argument("--progress", action="store_true",
+                   help="print fit progress to stderr")
     p.add_argument("--out", required=True)
     p.set_defaults(func=_cmd_fit)
 

@@ -21,7 +21,6 @@ import numpy as np
 
 DEFAULT_THETA_F = 5.0
 DEFAULT_THETA_N = 1000
-_MAX_DEPTH = 32
 
 
 @dataclasses.dataclass(frozen=True)
@@ -82,59 +81,59 @@ def adaptive_cluster(
     matrix = np.vstack([features[int(ue)] for ue in ue_ids])
     if matrix.ndim != 2:
         raise ValueError("feature vectors must share one dimensionality")
+    dims = matrix.shape[1]
+    dim_weights = 1 << np.arange(dims)
 
     clusters: List[Cluster] = []
-    assignment: Dict[int, int] = {}
+    cluster_of_row = np.empty(len(ue_ids), dtype=np.int64)
 
     def _finalize(rows: np.ndarray, lower: np.ndarray, upper: np.ndarray) -> None:
         cluster_id = len(clusters)
-        members = tuple(int(ue) for ue in ue_ids[rows])
         clusters.append(
             Cluster(
                 cluster_id=cluster_id,
-                ue_ids=members,
+                ue_ids=tuple(ue_ids[rows].tolist()),
                 lower=lower.copy(),
                 upper=upper.copy(),
             )
         )
-        for ue in members:
-            assignment[ue] = cluster_id
+        cluster_of_row[rows] = cluster_id
 
-    def _split(
-        rows: np.ndarray, lower: np.ndarray, upper: np.ndarray, depth: int
-    ) -> None:
+    # Depth-first traversal with an explicit stack: no recursion limit,
+    # so arbitrarily fine partitions (tiny theta_f on huge populations)
+    # cannot hit RecursionError.  Children are pushed in reverse child
+    # order so pops visit them ascending — cluster ids come out in the
+    # same order the recursive formulation produced.
+    stack: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = [
+        (np.arange(len(ue_ids)), matrix.min(axis=0), matrix.max(axis=0))
+    ]
+    while stack:
+        rows, lower, upper = stack.pop()
         cell = matrix[rows]
         spread = cell.max(axis=0) - cell.min(axis=0)
-        if (
-            len(rows) < theta_n
-            or bool(np.all(spread < theta_f))
-            or depth >= _MAX_DEPTH
-        ):
+        if len(rows) < theta_n or bool(np.all(spread < theta_f)):
             _finalize(rows, lower, upper)
-            return
+            continue
         mid = (lower + upper) / 2.0
         # Child index: one bit per dimension (above / below the midpoint).
         bits = (cell >= mid).astype(np.int64)
-        child_index = bits @ (1 << np.arange(cell.shape[1]))
-        made_progress = len(np.unique(child_index)) > 1
-        if not made_progress:
+        child_index = bits @ dim_weights
+        children = np.unique(child_index)
+        if len(children) == 1:
             # Every UE falls in one child: midpoint splitting cannot
             # separate them further (degenerate cell); stop here.
             _finalize(rows, lower, upper)
-            return
-        for child in np.unique(child_index):
+            continue
+        for child in reversed(children):
             child_rows = rows[child_index == child]
-            child_lower = lower.copy()
-            child_upper = upper.copy()
-            for dim in range(cell.shape[1]):
-                if (int(child) >> dim) & 1:
-                    child_lower[dim] = mid[dim]
-                else:
-                    child_upper[dim] = mid[dim]
-            _split(child_rows, child_lower, child_upper, depth + 1)
+            child_bits = (int(child) >> np.arange(dims)) & 1
+            child_lower = np.where(child_bits == 1, mid, lower)
+            child_upper = np.where(child_bits == 1, upper, mid)
+            stack.append((child_rows, child_lower, child_upper))
 
-    all_rows = np.arange(len(ue_ids))
-    _split(all_rows, matrix.min(axis=0), matrix.max(axis=0), depth=0)
+    assignment: Dict[int, int] = dict(
+        zip(ue_ids.tolist(), cluster_of_row.tolist())
+    )
     return ClusteringResult(clusters=tuple(clusters), assignment=assignment)
 
 

@@ -42,7 +42,7 @@ import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -450,16 +450,19 @@ def _run_parallel(
                 save=_save,
             )
         else:
-            _run_chunks_pool(
+            run_tasks_pool(
+                _generate_chunk,
                 model_set.to_dict(),
+                _init_worker,
                 tasks,
                 pending,
                 results,
                 processes=processes,
                 max_retries=max_retries,
                 backoff=backoff,
-                chunk_failed=_chunk_failed,
+                task_failed=_chunk_failed,
                 save=_save,
+                phase="generate-parallel",
             )
 
     ue_col, time_col, event_col, device_col = [], [], [], []
@@ -534,26 +537,44 @@ def _run_chunks_inline(
                 break
 
 
-def _run_chunks_pool(
-    payload: dict,
+def run_tasks_pool(
+    worker: Callable[[tuple], Tuple[Any, dict]],
+    payload: Any,
+    initializer: Callable[..., None],
     tasks: Dict[int, tuple],
     pending: List[int],
-    results: Dict[int, tuple],
+    results: Dict[int, Any],
     *,
     processes: Optional[int],
     max_retries: int,
     backoff: _Backoff,
-    chunk_failed: Callable[[int, int, str], ChunkFailedError],
-    save: Callable[[], None],
+    task_failed: Callable[[int, int, str], Exception],
+    save: Optional[Callable[[], None]] = None,
+    phase: str = "parallel-tasks",
+    retry_counter: str = "chunk_retries",
 ) -> None:
-    """Drive the chunk set through process pools until done or failed.
+    """Drive a set of pure tasks through process pools until done or failed.
 
-    Worker exceptions are attributed to their chunk directly.  A pool
+    This is the fault-tolerant pool loop shared by parallel generation
+    and parallel fitting.  The contract:
+
+    - ``tasks[i]`` is the picklable argument tuple for task ``i``; its
+      first element must be ``i`` itself, and ``worker(tasks[i])`` must
+      write a ``started-<i>`` marker file into the scratch directory its
+      initializer received before doing real work (that is what lets a
+      pool crash be attributed to the tasks actually in flight).
+    - ``initializer(payload, scratch_dir)`` installs per-process state.
+    - ``worker`` returns ``(result, telemetry_child_record)``; results
+      land in ``results[i]`` and records are merged into the ambient
+      collector.
+
+    Worker exceptions are attributed to their task directly.  A pool
     break (worker death) is attributed to the started-but-unfinished
-    chunks; a chunk suspected in two consecutive broken rounds is rerun
+    tasks; a task suspected in two consecutive broken rounds is rerun
     *alone* in a single-worker pool, where a crash is unambiguous and
     counts as a confirmed failure.  Confirmed failures beyond
-    ``max_retries`` raise :class:`ChunkFailedError`.
+    ``max_retries`` raise the exception built by ``task_failed(idx,
+    attempts, reason)``.
     """
     tele = get_telemetry()
     confirmed: Dict[int, int] = {}
@@ -566,45 +587,44 @@ def _run_chunks_pool(
         batch = isolated[:1] if single else sorted(todo)
         workers = 1 if single else (processes or os.cpu_count() or 1)
         tele.max_gauge("active_workers", min(len(batch), workers))
-        scratch = tempfile.mkdtemp(prefix="repro-chunks-")
+        scratch = tempfile.mkdtemp(prefix="repro-tasks-")
         broken = False
         failed_this_round = False
         try:
             with ProcessPoolExecutor(
                 max_workers=1 if single else processes,
-                initializer=_init_worker,
+                initializer=initializer,
                 initargs=(payload, scratch),
             ) as executor:
                 futures = {}
                 try:
                     for i in batch:
-                        futures[executor.submit(_generate_chunk, tasks[i])] = i
+                        futures[executor.submit(worker, tasks[i])] = i
                 except BrokenProcessPool:
                     broken = True
                 for future in as_completed(futures):
                     i = futures[future]
                     try:
-                        columns, record = future.result()
+                        result, record = future.result()
                     except BrokenProcessPool:
                         broken = True
                     except Exception as exc:
                         failed_this_round = True
                         confirmed[i] = confirmed.get(i, 0) + 1
                         causes[i] = repr(exc)
-                        tele.count("chunk_retries")
+                        tele.count(retry_counter)
                         if confirmed[i] > max_retries:
-                            raise chunk_failed(
+                            raise task_failed(
                                 i, confirmed[i], causes[i]
                             ) from exc
                     else:
-                        results[i] = columns
+                        results[i] = result
                         tele.merge_child(record)
                         todo.discard(i)
                         streak.pop(i, None)
-                        tele.progress(
-                            "generate-parallel", len(results), len(tasks)
-                        )
-                        save()
+                        tele.progress(phase, len(results), len(tasks))
+                        if save is not None:
+                            save()
             if broken:
                 failed_this_round = True
                 started = {
@@ -617,12 +637,12 @@ def _run_chunks_pool(
                 )
                 for i in suspects:
                     causes[i] = "worker process died (pool broken)"
-                    tele.count("chunk_retries")
+                    tele.count(retry_counter)
                     if single:
-                        # Alone in the pool: the crash is this chunk's.
+                        # Alone in the pool: the crash is this task's.
                         confirmed[i] = confirmed.get(i, 0) + 1
                         if confirmed[i] > max_retries:
-                            raise chunk_failed(i, confirmed[i], causes[i])
+                            raise task_failed(i, confirmed[i], causes[i])
                     else:
                         streak[i] = streak.get(i, 0) + 1
         finally:

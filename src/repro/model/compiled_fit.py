@@ -1,0 +1,873 @@
+"""Compiled fitting fast path: array-at-a-time replay and model fitting.
+
+The reference pipeline in :mod:`repro.model.fitting` walks every
+(UE, hour-slot) segment event by event through
+:func:`repro.statemachines.replay.replay_ue`, building Python
+``TransitionRecord`` objects.  At the ROADMAP's "millions of UEs" scale
+that per-object work dominates the paper's whole loop.  This module
+lowers each state machine to small integer lookup tables once
+(:func:`machine_table`) and replays entire device cohorts as flat
+arrays:
+
+* events are sorted by ``(ue, time)`` and bucketed into hour slots with
+  one ``searchsorted``;
+* state reconstruction runs as a segmented Hillis–Steele scan over
+  per-event *state-transformation* rows, so the whole cohort's state
+  trajectory falls out in ``O(log n)`` vectorized passes;
+* ``p_xy`` counts come from one ``bincount`` over
+  ``(cluster, source, event)`` keys, sojourn samples from grouped
+  diffs, and the first-event / overlay models from boundary masks.
+
+The compiled fitter is **exactly** equivalent to the reference one —
+same transition probabilities, same CDF knots, same cluster assignment
+— because every reduction preserves the reference's sample *order*
+(``np.mean``/``np.std`` are order-dependent in floating point) and
+performs divisions on Python ints exactly as the reference does.
+
+Per-(device, hour) fit jobs can additionally fan out across a
+``ProcessPoolExecutor`` via :func:`run_fit_jobs`, reusing the
+retry/fault-attribution machinery of
+:func:`repro.generator.parallel.run_tasks_pool`; the training trace is
+shared with workers through an uncompressed NPZ that every worker
+memory-maps (page-cache-shared) instead of pickling per job.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import shutil
+import tempfile
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..clustering.features import NUM_FEATURES
+from ..clustering.quadtree import ClusteringResult, adaptive_cluster, single_cluster
+from ..distributions.base import FitError
+from ..distributions.empirical import EmpiricalCDF
+from ..distributions.exponential import Exponential
+from ..statemachines import lte
+from ..statemachines.replay import TransitionRecord, _canonical_source_for
+from ..telemetry import RunTelemetry, get_telemetry, use_telemetry
+from ..trace.events import SECONDS_PER_HOUR, DeviceType, EventType
+from ..trace.trace import Trace
+from .first_event import FirstEventModel
+from .model_set import ClusterModel, HourModel, build_machine
+from .semi_markov import Edge, SemiMarkovChain, StateModel
+
+#: Mirror of ``fitting._FALLBACK_MEAN_SOJOURN`` (no import: fitting
+#: imports this module).
+_FALLBACK_MEAN_SOJOURN = 60.0
+
+_CATEGORY1_CODES = np.asarray(
+    sorted(
+        int(e)
+        for e in (
+            EventType.ATCH,
+            EventType.DTCH,
+            EventType.SRV_REQ,
+            EventType.S1_CONN_REL,
+        )
+    ),
+    dtype=np.int64,
+)
+_OVERLAY_EVENTS = (EventType.HO, EventType.TAU)
+
+_NUM_EVENTS = int(max(EventType)) + 1
+
+
+# ---------------------------------------------------------------------------
+# Machine lowering
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class MachineTable:
+    """A state machine lowered to integer lookup tables.
+
+    State codes index ``names`` (sorted state names, so code order ==
+    the reference fitter's name-sorted source order).  ``-1`` marks
+    invalid entries throughout.
+    """
+
+    machine_name: str
+    names: Tuple[str, ...]
+    next_state: np.ndarray     #: (S, E) target code, -1 if cannot fire
+    canon: np.ndarray          #: (E,) canonical forced source, -1 if none
+    fallback_next: np.ndarray  #: (E,) target code after forcing
+    total: np.ndarray          #: (E, S) forced-apply function table
+    const_target: np.ndarray   #: (E,) target if source-independent, else -1
+    parent_names: Tuple[str, ...]
+    parent_code: np.ndarray    #: (S,) top-level state code per state
+    connected_code: int        #: parent code of CONNECTED (-1 if absent)
+    idle_code: int             #: parent code of IDLE (-1 if absent)
+
+    @property
+    def num_states(self) -> int:
+        return len(self.names)
+
+    @property
+    def num_events(self) -> int:
+        return _NUM_EVENTS
+
+
+def lower_machine(machine) -> MachineTable:
+    """Lower ``machine`` to the integer tables the compiled replay uses."""
+    names = tuple(sorted(machine.states))
+    code = {name: i for i, name in enumerate(names)}
+    num_states = len(names)
+    next_state = np.full((num_states, _NUM_EVENTS), -1, dtype=np.int16)
+    for s_i, state in enumerate(names):
+        for event in EventType:
+            if machine.can_fire(state, event):
+                next_state[s_i, int(event)] = code[machine.next_state(state, event)]
+    canon = np.full(_NUM_EVENTS, -1, dtype=np.int16)
+    for event in EventType:
+        try:
+            canon[int(event)] = code[_canonical_source_for(machine, event)]
+        except ValueError:
+            pass  # event has no source state in this machine
+    fallback_next = np.where(
+        canon >= 0,
+        next_state[np.maximum(canon, 0), np.arange(_NUM_EVENTS)],
+        np.int16(-1),
+    ).astype(np.int16)
+    # total[e, s]: the state reached by firing e from s, forcing to the
+    # canonical source when the transition is invalid — the *total*
+    # function the lenient replay applies per event.
+    total = np.where(
+        next_state.T >= 0, next_state.T, fallback_next[:, None]
+    ).astype(np.int16)
+    # Events whose total row is constant (same target from every source)
+    # are reset points: the state after one is known without looking
+    # left, so the replay scan never has to compose across them.  In
+    # the paper's machines most events are like this — all of them for
+    # emm_ecm and nr_sa, everything but S1_CONN_REL/TAU for two_level.
+    const_target = np.where(
+        (canon >= 0) & (total == total[:, :1]).all(axis=1),
+        total[:, 0],
+        np.int16(-1),
+    ).astype(np.int16)
+
+    parent_fn = getattr(machine, "parent", lambda state: state)
+    parent_names = tuple(sorted({parent_fn(state) for state in names}))
+    parent_of = {name: i for i, name in enumerate(parent_names)}
+    parent_code = np.asarray(
+        [parent_of[parent_fn(state)] for state in names], dtype=np.int16
+    )
+    return MachineTable(
+        machine_name=machine.name,
+        names=names,
+        next_state=next_state,
+        canon=canon,
+        fallback_next=fallback_next,
+        total=total,
+        const_target=const_target,
+        parent_names=parent_names,
+        parent_code=parent_code,
+        connected_code=parent_of.get(lte.CONNECTED, -1),
+        idle_code=parent_of.get(lte.IDLE, -1),
+    )
+
+
+@lru_cache(maxsize=None)
+def machine_table(machine_kind: str) -> MachineTable:
+    """Cached :func:`lower_machine` for a named machine kind."""
+    return lower_machine(build_machine(machine_kind))
+
+
+# ---------------------------------------------------------------------------
+# Vectorized replay
+# ---------------------------------------------------------------------------
+
+def _replay_codes(
+    events: np.ndarray, first: np.ndarray, table: MachineTable
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Replay a segmented event stream; returns (source, target, forced).
+
+    ``events`` is an int array of event codes, ``first`` flags the first
+    event of each segment (each segment replays like an independent
+    ``replay_ue`` call with unknown initial state).
+
+    The state trajectory is reconstructed with a segmented
+    Hillis–Steele scan over *function* rows: row ``i`` is the total
+    state map of event ``i`` (constant for segment-first events, whose
+    source is forced to the canonical state), and composing rows within
+    a segment yields, in ``O(log n)`` passes, the constant map "state
+    after event ``i``".
+    """
+    n = len(events)
+    empty = np.empty(0, dtype=np.int16)
+    if n == 0:
+        return empty, empty, np.empty(0, dtype=bool)
+    bad = table.canon[events] < 0
+    if bad.any():
+        event = EventType(int(events[int(np.argmax(bad))]))
+        raise ValueError(
+            f"event {event.name} has no source state in {table.machine_name}"
+        )
+
+    rows_f = table.total[events].copy()  # (n, S)
+    rows_f[first] = table.fallback_next[events[first]][:, None]
+    # Scan barriers: segment firsts AND constant-row events.  A constant
+    # row already *is* the map "state after this event", so composition
+    # only has to run inside the (short) runs of source-dependent events
+    # between barriers — for emm_ecm and nr_sa every event is constant
+    # and the loop below exits after one empty pass.
+    reset = first | (table.const_target[events] >= 0)
+    idx = np.arange(n)
+    start_of = np.maximum.accumulate(np.where(reset, idx, -1))
+    stride = 1
+    while True:
+        rows = np.flatnonzero(idx >= stride)
+        rows = rows[(rows - stride) >= start_of[rows]]
+        if rows.size == 0:
+            break
+        # Compose: new[i](s) = F_i(F_{i-stride}(s)).  Both gathers read
+        # pre-update values before the assignment writes back.
+        rows_f[rows] = np.take_along_axis(
+            rows_f[rows], rows_f[rows - stride].astype(np.intp), axis=1
+        )
+        stride *= 2
+    state_after = rows_f[:, 0]
+
+    prev = np.empty(n, dtype=np.int64)
+    prev[0] = 0
+    prev[1:] = state_after[:-1]
+    prev_safe = np.where(first, 0, prev)
+    forced = first | (table.next_state[prev_safe, events] < 0)
+    source = np.where(forced, table.canon[events], prev_safe).astype(np.int16)
+    return source, state_after.astype(np.int16), forced
+
+
+@dataclasses.dataclass
+class VectorizedReplay:
+    """Array-valued result of :func:`vectorized_replay` for one UE."""
+
+    sources: np.ndarray    #: (n,) source state codes
+    targets: np.ndarray    #: (n,) target state codes
+    events: np.ndarray     #: (n,) event codes
+    times: np.ndarray      #: (n,) fire times
+    forced: np.ndarray     #: (n,) bool, True where the decoder forced
+    state_names: Tuple[str, ...]
+    violations: int
+    final_state: Optional[str]
+
+    def records(self) -> List[TransitionRecord]:
+        """Decode to the reference :class:`TransitionRecord` stream."""
+        out: List[TransitionRecord] = []
+        names = self.state_names
+        for i in range(len(self.events)):
+            forced = bool(self.forced[i])
+            out.append(
+                TransitionRecord(
+                    source=names[int(self.sources[i])],
+                    event=EventType(int(self.events[i])),
+                    target=names[int(self.targets[i])],
+                    enter_time=None if forced else float(self.times[i - 1]),
+                    fire_time=float(self.times[i]),
+                    forced=forced,
+                )
+            )
+        return out
+
+
+def vectorized_replay(
+    event_types: Sequence[int],
+    times: Sequence[float],
+    machine=None,
+) -> VectorizedReplay:
+    """Array-at-a-time equivalent of :func:`repro.statemachines.replay.replay_ue`.
+
+    Produces the identical transition stream (source, event, target,
+    enter/fire times, forced flags) for one UE's chronological event
+    sequence, with unknown initial state.
+    """
+    if machine is None:
+        machine = lte.two_level_machine()
+    events = np.asarray(event_types, dtype=np.int64).ravel()
+    fire_times = np.asarray(times, dtype=np.float64).ravel()
+    if len(events) != len(fire_times):
+        raise ValueError("event_types and times must have equal length")
+    table = lower_machine(machine)
+    first = np.zeros(len(events), dtype=bool)
+    if len(events):
+        first[0] = True
+    sources, targets, forced = _replay_codes(events, first, table)
+    violations = int(np.count_nonzero(forced & ~first))
+    final_state = table.names[int(targets[-1])] if len(events) else None
+    return VectorizedReplay(
+        sources=sources,
+        targets=targets,
+        events=events,
+        times=fire_times,
+        forced=forced,
+        state_names=table.names,
+        violations=violations,
+        final_state=final_state,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Device cohorts as flat arrays
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class DeviceArrays:
+    """One device type's events, sorted by ``(ue, time)`` and slot-bucketed."""
+
+    ues: np.ndarray       #: sorted distinct UE ids
+    ue_code: np.ndarray   #: per-row index into ``ues``
+    events: np.ndarray    #: per-row event codes (int64)
+    slots: np.ndarray     #: per-row hour-slot index
+    t_rel: np.ndarray     #: per-row slot-relative time, in [0, 3600)
+    total_slots: int
+
+
+def device_arrays(
+    trace: Trace, device_type: DeviceType, total_slots: int
+) -> Optional[DeviceArrays]:
+    """Extract one device's cohort as flat arrays (None if absent)."""
+    mask = trace.device_types == int(device_type)
+    if not mask.any():
+        return None
+    ue = trace.ue_ids[mask]
+    t = trace.times[mask]
+    ev = trace.event_types[mask].astype(np.int64)
+    # Trace rows are already time-sorted, so one stable ue sort yields
+    # the (ue, time) order the reference sees — same permutation as
+    # np.lexsort((t, ue)) at roughly half the cost.
+    order = np.argsort(ue, kind="stable")
+    ue, t, ev = ue[order], t[order], ev[order]
+    # Slot membership matches the reference's half-open searchsorted
+    # windows exactly (an event at exactly k*3600.0 belongs to slot k);
+    # floor division would be a float-rounding hazard here.
+    boundaries = np.arange(1, total_slots) * SECONDS_PER_HOUR
+    slots = np.searchsorted(boundaries, t, side="right")
+    t_rel = t - slots * SECONDS_PER_HOUR
+    ues = np.unique(ue)
+    ue_code = np.searchsorted(ues, ue)
+    return DeviceArrays(
+        ues=ues,
+        ue_code=ue_code,
+        events=ev,
+        slots=slots,
+        t_rel=t_rel,
+        total_slots=total_slots,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Per-(device, hour) fitting
+# ---------------------------------------------------------------------------
+
+def _segment_firsts(seg_key: np.ndarray) -> np.ndarray:
+    first = np.empty(len(seg_key), dtype=bool)
+    if len(seg_key):
+        first[0] = True
+        first[1:] = seg_key[1:] != seg_key[:-1]
+    return first
+
+
+def _group_slices(
+    sorted_keys: np.ndarray, key: int
+) -> slice:
+    lo = int(np.searchsorted(sorted_keys, key, side="left"))
+    hi = int(np.searchsorted(sorted_keys, key, side="right"))
+    return slice(lo, hi)
+
+
+def _group_std(codes: np.ndarray, values: np.ndarray, num_ues: int) -> np.ndarray:
+    """Per-UE ``np.std`` over grouped values (0.0 below two samples).
+
+    ``codes`` must be non-decreasing with ``values`` in the reference's
+    append order, so each group's ``np.std`` sees bit-identical input.
+    Groups are batched by size into one ``np.std(..., axis=1)`` call
+    each: reducing the contiguous last axis applies the same pairwise
+    summation per row as a 1-D reduction, so the batch is bit-identical
+    to per-group calls while skipping numpy's per-call dispatch.
+    """
+    out = np.zeros(num_ues, dtype=np.float64)
+    if codes.size == 0:
+        return out
+    present, starts = np.unique(codes, return_index=True)
+    lengths = np.diff(np.append(starts, codes.size))
+    for size in np.unique(lengths).tolist():
+        if size < 2:
+            continue
+        sel = np.flatnonzero(lengths == size)
+        rows = values[starts[sel][:, None] + np.arange(size)]
+        out[present[sel]] = np.std(rows, axis=1)
+    return out
+
+
+def _fit_sojourn_arrays(
+    samples: np.ndarray,
+    event_pool: np.ndarray,
+    family: str,
+    max_cdf_points: int,
+):
+    """Array twin of ``fitting._fit_sojourn`` (same fallback ladder)."""
+    source = samples if samples.size else event_pool
+    if source.size == 0:
+        return Exponential(rate=1.0 / _FALLBACK_MEAN_SOJOURN)
+    if family == "empirical":
+        return EmpiricalCDF.fit(source, max_points=max_cdf_points)
+    try:
+        return Exponential.fit(source)
+    except FitError:
+        return Exponential(rate=1.0 / _FALLBACK_MEAN_SOJOURN)
+
+
+def fit_device_hour(
+    dev: DeviceArrays,
+    hour_slots: Sequence[int],
+    *,
+    table: MachineTable,
+    machine_kind: str,
+    family: str,
+    clustered: bool,
+    theta_f: float,
+    theta_n: int,
+    max_cdf_points: int,
+) -> HourModel:
+    """Fit one (device, hour-of-day) :class:`HourModel` from flat arrays.
+
+    Exactly equivalent to the reference ``_fit_hour`` over the segments
+    ``_build_segments`` would produce for ``hour_slots``.
+    """
+    tele = get_telemetry()
+    slots_arr = np.asarray(sorted(int(s) for s in hour_slots), dtype=np.int64)
+    num_slots = len(slots_arr)
+    mask = np.isin(dev.slots, slots_arr)
+    ue_code = dev.ue_code[mask]
+    events = dev.events[mask]
+    t_rel = dev.t_rel[mask]
+    seg_key = ue_code * dev.total_slots + dev.slots[mask]
+    first_raw = _segment_firsts(seg_key)
+    num_ues = len(dev.ues)
+    tele.count("segments_replayed", int(np.count_nonzero(first_raw)))
+
+    # Filtered stream: the EMM-ECM machine only replays Category-1.
+    if machine_kind == "emm_ecm":
+        fmask = np.isin(events, _CATEGORY1_CODES)
+        f_ue = ue_code[fmask]
+        f_ev = events[fmask]
+        f_t = t_rel[fmask]
+        f_seg = seg_key[fmask]
+    else:
+        f_ue, f_ev, f_t, f_seg = ue_code, events, t_rel, seg_key
+    f_first = _segment_firsts(f_seg)
+    tele.count("transitions_counted", len(f_ev))
+
+    with tele.span("fit-replay"):
+        src, tgt, forced = _replay_codes(f_ev, f_first, table)
+
+    with tele.span("fit-cluster"):
+        clustering = _cluster_device_hour(
+            dev,
+            table,
+            clustered=clustered,
+            theta_f=theta_f,
+            theta_n=theta_n,
+            ue_code=ue_code,
+            events=events,
+            first_raw=first_raw,
+            f_ue=f_ue,
+            f_t=f_t,
+            f_seg=f_seg,
+            src=src,
+            tgt=tgt,
+        )
+
+    with tele.span("fit-models"):
+        num_clusters = len(clustering.clusters)
+        cl_of_ue = np.zeros(num_ues, dtype=np.int64)
+        for i, ue in enumerate(dev.ues.tolist()):
+            cl_of_ue[i] = clustering.assignment[int(ue)]
+        cid_f = cl_of_ue[f_ue]
+
+        num_states = table.num_states
+        num_events = table.num_events
+        src64 = src.astype(np.int64)
+        combined = (cid_f * num_states + src64) * num_events + f_ev
+        counts = np.bincount(
+            combined, minlength=num_clusters * num_states * num_events
+        ).reshape(num_clusters, num_states, num_events)
+
+        # Sojourn samples: non-forced records only; value is the
+        # slot-relative diff to the previous record of the segment, in
+        # the reference's global (ue, slot, time) append order — the
+        # stable argsorts below preserve it within every group.
+        nf = np.flatnonzero(~forced)
+        sojourns = f_t[nf] - f_t[nf - 1]
+        edge_keys = (cid_f[nf] * num_states + src64[nf]) * num_events + f_ev[nf]
+        edge_order = np.argsort(edge_keys, kind="stable")
+        edge_sorted_keys = edge_keys[edge_order]
+        edge_sorted_vals = sojourns[edge_order]
+        pool_keys = cid_f[nf] * num_events + f_ev[nf]
+        pool_order = np.argsort(pool_keys, kind="stable")
+        pool_sorted_keys = pool_keys[pool_order]
+        pool_sorted_vals = sojourns[pool_order]
+
+        first_pos = np.flatnonzero(f_first)
+        cid_first = cid_f[first_pos] if first_pos.size else first_pos
+
+        cluster_models = []
+        for cluster in clustering.clusters:
+            cid = cluster.cluster_id
+            chain = _cluster_chain(
+                counts[cid],
+                table,
+                family=family,
+                max_cdf_points=max_cdf_points,
+                cid=cid,
+                edge_sorted_keys=edge_sorted_keys,
+                edge_sorted_vals=edge_sorted_vals,
+                pool_sorted_keys=pool_sorted_keys,
+                pool_sorted_vals=pool_sorted_vals,
+            )
+            sel = first_pos[cid_first == cid]
+            first_events = [
+                (EventType(int(f_ev[p])), float(f_t[p])) for p in sel.tolist()
+            ]
+            num_segments = cluster.size * num_slots
+            first_event = FirstEventModel.fit(
+                first_events,
+                max(num_segments, len(first_events)),
+                max_cdf_points=max_cdf_points,
+            )
+            if machine_kind == "emm_ecm":
+                overlay = _cluster_overlay(
+                    cl_of_ue[ue_code] == cid,
+                    events,
+                    t_rel,
+                    seg_key,
+                    num_segments,
+                )
+            else:
+                overlay = {}
+            cluster_models.append(
+                ClusterModel(
+                    chain=chain,
+                    first_event=first_event,
+                    overlay_rates=overlay,
+                    num_ues=cluster.size,
+                    num_segments=num_segments,
+                )
+            )
+    return HourModel(
+        clusters=cluster_models, assignment=dict(clustering.assignment)
+    )
+
+
+def _cluster_device_hour(
+    dev: DeviceArrays,
+    table: MachineTable,
+    *,
+    clustered: bool,
+    theta_f: float,
+    theta_n: int,
+    ue_code: np.ndarray,
+    events: np.ndarray,
+    first_raw: np.ndarray,
+    f_ue: np.ndarray,
+    f_t: np.ndarray,
+    f_seg: np.ndarray,
+    src: np.ndarray,
+    tgt: np.ndarray,
+) -> ClusteringResult:
+    """Vectorized twin of ``fitting._cluster_ues`` for one device-hour."""
+    ues_list = [int(u) for u in dev.ues.tolist()]
+    if not clustered:
+        return single_cluster(ues_list, NUM_FEATURES)
+    num_ues = len(ues_list)
+    srv = np.bincount(
+        ue_code[events == int(EventType.SRV_REQ)], minlength=num_ues
+    )
+    rel = np.bincount(
+        ue_code[events == int(EventType.S1_CONN_REL)], minlength=num_ues
+    )
+    slots_seen = np.bincount(ue_code[first_raw], minlength=num_ues)
+
+    # Complete top-level intervals: consecutive parent-boundary records
+    # within one segment open/close an interval whose state is the
+    # opening boundary's target parent (matching top_level_intervals'
+    # `current` tracking; the segment's first interval starts at an
+    # unknown time and is never complete).
+    src_par = table.parent_code[src]
+    tgt_par = table.parent_code[tgt]
+    bpos = np.flatnonzero(src_par != tgt_par)
+    if bpos.size >= 2:
+        same = f_seg[bpos[1:]] == f_seg[bpos[:-1]]
+        open_b = bpos[:-1][same]
+        close_b = bpos[1:][same]
+        durations = f_t[close_b] - f_t[open_b]
+        interval_state = tgt_par[open_b]
+        interval_ue = f_ue[open_b]
+    else:
+        durations = np.empty(0, dtype=np.float64)
+        interval_state = np.empty(0, dtype=np.int16)
+        interval_ue = np.empty(0, dtype=np.int64)
+    conn = interval_state == table.connected_code
+    idle = interval_state == table.idle_code
+    std_conn = _group_std(interval_ue[conn], durations[conn], num_ues)
+    std_idle = _group_std(interval_ue[idle], durations[idle], num_ues)
+
+    features: Dict[int, np.ndarray] = {}
+    for i, ue in enumerate(ues_list):
+        slots = max(1, int(slots_seen[i]))
+        features[ue] = np.asarray(
+            [
+                int(srv[i]) / slots,
+                int(rel[i]) / slots,
+                std_conn[i],
+                std_idle[i],
+            ],
+            dtype=np.float64,
+        )
+    return adaptive_cluster(features, theta_f=theta_f, theta_n=theta_n)
+
+
+def _cluster_chain(
+    counts: np.ndarray,
+    table: MachineTable,
+    *,
+    family: str,
+    max_cdf_points: int,
+    cid: int,
+    edge_sorted_keys: np.ndarray,
+    edge_sorted_vals: np.ndarray,
+    pool_sorted_keys: np.ndarray,
+    pool_sorted_vals: np.ndarray,
+) -> SemiMarkovChain:
+    """Build one cluster's chain from its (S, E) count matrix."""
+    num_states = table.num_states
+    num_events = table.num_events
+    row_totals = counts.sum(axis=1)
+    states: Dict[str, StateModel] = {}
+    for s in range(num_states):
+        total = int(row_totals[s])
+        if total == 0:
+            continue
+        edges = []
+        for e in range(num_events):
+            n = int(counts[s, e])
+            if n == 0:
+                continue
+            samples = edge_sorted_vals[
+                _group_slices(
+                    edge_sorted_keys, (cid * num_states + s) * num_events + e
+                )
+            ]
+            pool = pool_sorted_vals[
+                _group_slices(pool_sorted_keys, cid * num_events + e)
+            ]
+            edges.append(
+                Edge(
+                    event=EventType(e),
+                    target=table.names[int(table.next_state[s, e])],
+                    probability=n / total,
+                    sojourn=_fit_sojourn_arrays(
+                        samples, pool, family, max_cdf_points
+                    ),
+                )
+            )
+        states[table.names[s]] = StateModel(edges=tuple(edges))
+    return SemiMarkovChain(states)
+
+
+def _cluster_overlay(
+    in_cluster: np.ndarray,
+    events: np.ndarray,
+    t_rel: np.ndarray,
+    seg_key: np.ndarray,
+    num_segments: int,
+) -> Dict[EventType, float]:
+    """Vectorized twin of ``fitting._fit_overlay`` for one cluster."""
+    rates: Dict[EventType, float] = {}
+    for event in _OVERLAY_EVENTS:
+        rows = np.flatnonzero(in_cluster & (events == int(event)))
+        count = int(rows.size)
+        if rows.size >= 2:
+            same = seg_key[rows[1:]] == seg_key[rows[:-1]]
+            interarrivals = (t_rel[rows[1:]] - t_rel[rows[:-1]])[same]
+        else:
+            interarrivals = np.empty(0, dtype=np.float64)
+        if interarrivals.size:
+            mean = float(np.mean(interarrivals))
+            rates[event] = 1.0 / max(mean, 1e-3)
+        elif count > 0 and num_segments > 0:
+            rates[event] = count / (num_segments * SECONDS_PER_HOUR)
+        else:
+            rates[event] = 0.0
+    return rates
+
+
+# ---------------------------------------------------------------------------
+# Parallel fit jobs
+# ---------------------------------------------------------------------------
+
+class FitJobFailedError(RuntimeError):
+    """A (device, hour) fit job failed deterministically after retries."""
+
+    def __init__(
+        self, device_type: DeviceType, hour: int, attempts: int, reason: str
+    ) -> None:
+        self.device_type = device_type
+        self.hour = hour
+        self.attempts = attempts
+        super().__init__(
+            f"fit job for device {device_type.name}, hour {hour} "
+            f"failed after {attempts} attempt(s): {reason}"
+        )
+
+
+_FIT_WORKER: dict = {
+    "trace": None,
+    "params": None,
+    "scratch": None,
+    "devices": {},
+}
+
+
+def _init_fit_worker(payload: dict, scratch_dir: Optional[str] = None) -> None:
+    from ..trace.io import read_npz
+
+    _FIT_WORKER["trace"] = read_npz(payload["trace_path"], mmap=True)
+    _FIT_WORKER["params"] = payload["params"]
+    _FIT_WORKER["scratch"] = scratch_dir
+    _FIT_WORKER["devices"] = {}
+
+
+def _fit_job(args: Tuple[int, int, int, Tuple[int, ...]]) -> Tuple[tuple, dict]:
+    """Fit one (device, hour) job inside a worker process.
+
+    Returns ``((device_code, hour, HourModel), telemetry_record)``; the
+    model objects round-trip bit-exactly through pickling (plain
+    ``__dict__`` state, no ``__init__`` re-run).
+    """
+    job_idx, device_code, hour, slots = args
+    tele = RunTelemetry()
+    with use_telemetry(tele):
+        hour_model = _fit_job_model(job_idx, device_code, slots)
+    return (device_code, hour, hour_model), tele.child_record()
+
+
+def _fit_job_model(job_idx: int, device_code: int, slots: Tuple[int, ...]):
+    trace = _FIT_WORKER["trace"]
+    params = _FIT_WORKER["params"]
+    assert trace is not None and params is not None, "fit worker not initialized"
+    if _FIT_WORKER["scratch"] is not None:
+        # Started-marker: lets the parent attribute a pool crash to the
+        # jobs that were actually in flight (see run_tasks_pool).
+        try:
+            with open(
+                os.path.join(_FIT_WORKER["scratch"], f"started-{job_idx}"), "w"
+            ):
+                pass
+        except OSError:
+            pass
+    device_type = DeviceType(device_code)
+    engine = params["engine"]
+    if engine == "reference":
+        from .fitting import _reference_device_context, _reference_fit_device_hour
+
+        context = _FIT_WORKER["devices"].get(device_code)
+        if context is None:
+            context = _reference_device_context(trace, device_type)
+            _FIT_WORKER["devices"][device_code] = context
+        ues, per_ue = context
+        return _reference_fit_device_hour(
+            per_ue,
+            ues,
+            list(slots),
+            machine=None,
+            machine_kind=params["machine_kind"],
+            family=params["family"],
+            clustered=params["clustered"],
+            theta_f=params["theta_f"],
+            theta_n=params["theta_n"],
+            max_cdf_points=params["max_cdf_points"],
+        )
+    dev = _FIT_WORKER["devices"].get(device_code)
+    if dev is None:
+        dev = device_arrays(trace, device_type, params["total_slots"])
+        _FIT_WORKER["devices"][device_code] = dev
+    return fit_device_hour(
+        dev,
+        slots,
+        table=machine_table(params["machine_kind"]),
+        machine_kind=params["machine_kind"],
+        family=params["family"],
+        clustered=params["clustered"],
+        theta_f=params["theta_f"],
+        theta_n=params["theta_n"],
+        max_cdf_points=params["max_cdf_points"],
+    )
+
+
+def run_fit_jobs(
+    trace: Trace,
+    jobs: Sequence[Tuple[int, int, Tuple[int, ...]]],
+    params: dict,
+    *,
+    processes: Optional[int],
+    max_retries: int = 2,
+    retry_backoff: float = 0.5,
+    max_backoff: float = 30.0,
+) -> Dict[DeviceType, Dict[int, HourModel]]:
+    """Fan per-(device, hour) fit jobs across a process pool.
+
+    ``jobs`` is a sequence of ``(device_code, hour, slots)``; ``params``
+    carries the fit parameters plus ``engine`` and ``total_slots``.
+    The trace is written once as an *uncompressed* NPZ that every
+    worker memory-maps, so the cohort arrays are shared through the
+    page cache instead of being pickled per job.  Worker crashes and
+    exceptions reuse the generation pool's retry/fault-attribution loop
+    (bumping the ``fit_retries`` counter); a job that keeps failing
+    raises :class:`FitJobFailedError`.
+    """
+    from ..generator.parallel import _Backoff, run_tasks_pool
+    from ..trace.io import write_npz
+
+    tmp = tempfile.mkdtemp(prefix="repro-fit-")
+    results: Dict[int, tuple] = {}
+    try:
+        trace_path = os.path.join(tmp, "trace.npz")
+        write_npz(trace, trace_path, compress=False)
+        payload = {"trace_path": trace_path, "params": dict(params)}
+        tasks = {
+            i: (i, int(device_code), int(hour), tuple(slots))
+            for i, (device_code, hour, slots) in enumerate(jobs)
+        }
+
+        def _failed(idx: int, attempts: int, reason: str) -> FitJobFailedError:
+            device_code, hour, _ = jobs[idx]
+            return FitJobFailedError(
+                DeviceType(device_code), hour, attempts, reason
+            )
+
+        run_tasks_pool(
+            _fit_job,
+            payload,
+            _init_fit_worker,
+            tasks,
+            list(range(len(jobs))),
+            results,
+            processes=processes,
+            max_retries=max_retries,
+            backoff=_Backoff(retry_backoff, max_backoff),
+            task_failed=_failed,
+            phase="fit-parallel",
+            retry_counter="fit_retries",
+        )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    models: Dict[DeviceType, Dict[int, HourModel]] = {}
+    for i in range(len(jobs)):
+        device_code, hour, hour_model = results[i]
+        models.setdefault(DeviceType(device_code), {})[hour] = hour_model
+    return models

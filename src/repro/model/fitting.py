@@ -12,12 +12,20 @@ The pipeline mirrors the paper end to end:
    distributions (§5.2) plus the first-event model (§5.4);
 4. for the EMM–ECM baselines, additionally fit per-UE Poisson overlay
    rates for the ``HO``/``TAU`` events the machine cannot express.
+
+Two engines implement the pipeline: ``"compiled"`` (default; the
+array-at-a-time fast path in :mod:`repro.model.compiled_fit`, optionally
+fanned across processes) and ``"reference"`` (the original per-segment
+Python code below, kept as the exact-equality oracle).  Both produce
+*exactly* equal model sets.  ``cache_dir`` additionally enables the
+content-addressed disk cache (:mod:`repro.model.fit_cache`).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import math
+from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -35,13 +43,16 @@ from ..distributions.exponential import Exponential
 from ..statemachines import lte
 from ..statemachines.fsm import StateMachine
 from ..statemachines.replay import TransitionRecord, replay_ue, top_level_intervals
+from ..telemetry import RunTelemetry, get_telemetry, use_telemetry
 from ..trace.events import (
     SECONDS_PER_HOUR,
     DeviceType,
     EventType,
 )
 from ..trace.trace import Trace
+from . import compiled_fit
 from .first_event import FirstEventModel
+from .fit_cache import fit_cache_key, load_cached, store_cached
 from .model_set import (
     ClusterModel,
     HourModel,
@@ -49,6 +60,10 @@ from .model_set import (
     build_machine,
 )
 from .semi_markov import Edge, SemiMarkovChain, StateModel
+
+#: Available fitting engines: the compiled fast path (default) and the
+#: original per-segment reference oracle.
+FIT_ENGINES = ("compiled", "reference")
 
 #: Fallback sojourn when a transition was observed but never with a
 #: known entry time (e.g. always the first event of a segment).
@@ -82,6 +97,10 @@ def fit_model_set(
     theta_n: int = DEFAULT_THETA_N,
     trace_start_hour: int = 0,
     max_cdf_points: int = 512,
+    engine: str = "compiled",
+    processes: Optional[int] = None,
+    cache_dir: "Optional[str | Path]" = None,
+    telemetry: Optional[RunTelemetry] = None,
 ) -> ModelSet:
     """Fit the full model set from a control-plane trace.
 
@@ -104,54 +123,165 @@ def fit_model_set(
         clock correctly.
     max_cdf_points:
         Compression limit for stored empirical CDFs.
+    engine:
+        ``"compiled"`` (array-at-a-time fast path, default) or
+        ``"reference"`` (original per-segment oracle).  Both produce
+        exactly equal model sets.
+    processes:
+        ``None`` or ``1`` fits serially in-process; ``0`` fans
+        per-(device, hour) jobs across all CPUs; ``>= 2`` uses that
+        many worker processes.
+    cache_dir:
+        Directory of the content-addressed model cache.  ``None``
+        (default) disables caching; a hit returns the stored model set
+        without refitting (telemetry counter ``cache_hits``).
+    telemetry:
+        Explicit collector; defaults to the ambient one.  Fit phases
+        record spans plus the ``segments_replayed``,
+        ``transitions_counted`` and ``cache_hits``/``cache_misses``
+        counters.
     """
     if machine_kind not in ("two_level", "emm_ecm"):
         raise ValueError(f"unknown machine_kind {machine_kind!r}")
     if family not in ("empirical", "poisson"):
         raise ValueError(f"unknown sojourn family {family!r}")
+    if engine not in FIT_ENGINES:
+        raise ValueError(
+            f"unknown fit engine {engine!r}; expected one of {FIT_ENGINES}"
+        )
+    if processes is not None and processes < 0:
+        raise ValueError(f"processes must be non-negative, got {processes}")
     if len(trace) == 0:
         raise ValueError("cannot fit a model set to an empty trace")
 
-    machine = build_machine(machine_kind)
+    tele = telemetry if telemetry is not None else get_telemetry()
+    with use_telemetry(tele), tele.span("fit"):
+        key = None
+        if cache_dir is not None:
+            with tele.span("fit-cache-lookup"):
+                key = fit_cache_key(
+                    trace,
+                    machine_kind=machine_kind,
+                    family=family,
+                    clustered=clustered,
+                    theta_f=theta_f,
+                    theta_n=theta_n,
+                    trace_start_hour=trace_start_hour,
+                    max_cdf_points=max_cdf_points,
+                )
+                cached = load_cached(cache_dir, key)
+            if cached is not None:
+                tele.count("cache_hits")
+                return cached
+            tele.count("cache_misses")
+
+        model_set = _fit_all(
+            trace,
+            machine_kind=machine_kind,
+            family=family,
+            clustered=clustered,
+            theta_f=theta_f,
+            theta_n=theta_n,
+            trace_start_hour=trace_start_hour,
+            max_cdf_points=max_cdf_points,
+            engine=engine,
+            processes=processes,
+        )
+
+        if cache_dir is not None and key is not None:
+            with tele.span("fit-cache-store"):
+                store_cached(cache_dir, key, model_set)
+        return model_set
+
+
+def _fit_all(
+    trace: Trace,
+    *,
+    machine_kind: str,
+    family: str,
+    clustered: bool,
+    theta_f: float,
+    theta_n: int,
+    trace_start_hour: int,
+    max_cdf_points: int,
+    engine: str,
+    processes: Optional[int],
+) -> ModelSet:
+    """Plan and run the per-(device, hour) fit jobs for one model set."""
+    tele = get_telemetry()
     total_slots = int(math.ceil((float(trace.times.max()) + 1e-9) / SECONDS_PER_HOUR))
     total_slots = max(total_slots, 1)
+    slots_by_hour: Dict[int, List[int]] = {}
+    for slot in range(total_slots):
+        slots_by_hour.setdefault((trace_start_hour + slot) % 24, []).append(slot)
+    hour_plan = sorted(slots_by_hour.items())
 
-    models: Dict[DeviceType, Dict[int, HourModel]] = {}
     device_ues: Dict[DeviceType, List[int]] = {}
-
     for device_type in DeviceType:
         sub = trace.filter_device(device_type)
         if len(sub) == 0:
             continue
-        ues = [int(u) for u in sub.unique_ues()]
-        device_ues[device_type] = ues
-        per_ue = {ue: seg for ue, seg in sub.per_ue()}
+        device_ues[device_type] = [int(u) for u in sub.unique_ues()]
 
-        hours_for_slot = [
-            (trace_start_hour + slot) % 24 for slot in range(total_slots)
+    if processes is not None and processes != 1:
+        jobs = [
+            (int(device_type), hour, tuple(slots))
+            for device_type in device_ues
+            for hour, slots in hour_plan
         ]
-        slots_by_hour: Dict[int, List[int]] = {}
-        for slot, hour in enumerate(hours_for_slot):
-            slots_by_hour.setdefault(hour, []).append(slot)
-
-        device_models: Dict[int, HourModel] = {}
-        for hour, slots in sorted(slots_by_hour.items()):
-            segments = _build_segments(per_ue, ues, slots)
-            _replay_segments(segments, machine, machine_kind)
-            hour_model = _fit_hour(
-                segments,
-                ues,
-                num_slots=len(slots),
-                machine=machine,
-                machine_kind=machine_kind,
-                family=family,
-                clustered=clustered,
-                theta_f=theta_f,
-                theta_n=theta_n,
-                max_cdf_points=max_cdf_points,
-            )
-            device_models[hour] = hour_model
-        models[device_type] = device_models
+        params = {
+            "engine": engine,
+            "machine_kind": machine_kind,
+            "family": family,
+            "clustered": clustered,
+            "theta_f": theta_f,
+            "theta_n": theta_n,
+            "max_cdf_points": max_cdf_points,
+            "total_slots": total_slots,
+        }
+        models = compiled_fit.run_fit_jobs(
+            trace, jobs, params, processes=processes if processes else None
+        )
+    else:
+        models = {}
+        machine = build_machine(machine_kind)
+        done, total_jobs = 0, len(device_ues) * len(hour_plan)
+        for device_type, ues in device_ues.items():
+            if engine == "compiled":
+                dev = compiled_fit.device_arrays(trace, device_type, total_slots)
+                table = compiled_fit.machine_table(machine_kind)
+            else:
+                ues, per_ue = _reference_device_context(trace, device_type)
+            device_models: Dict[int, HourModel] = {}
+            for hour, slots in hour_plan:
+                if engine == "compiled":
+                    device_models[hour] = compiled_fit.fit_device_hour(
+                        dev,
+                        slots,
+                        table=table,
+                        machine_kind=machine_kind,
+                        family=family,
+                        clustered=clustered,
+                        theta_f=theta_f,
+                        theta_n=theta_n,
+                        max_cdf_points=max_cdf_points,
+                    )
+                else:
+                    device_models[hour] = _reference_fit_device_hour(
+                        per_ue,
+                        ues,
+                        slots,
+                        machine=machine,
+                        machine_kind=machine_kind,
+                        family=family,
+                        clustered=clustered,
+                        theta_f=theta_f,
+                        theta_n=theta_n,
+                        max_cdf_points=max_cdf_points,
+                    )
+                done += 1
+                tele.progress("fit", done, total_jobs)
+            models[device_type] = device_models
 
     return ModelSet(
         machine_kind=machine_kind,
@@ -161,6 +291,51 @@ def fit_model_set(
         device_ues=device_ues,
         theta_f=theta_f,
         theta_n=theta_n,
+    )
+
+
+def _reference_device_context(
+    trace: Trace, device_type: DeviceType
+) -> Tuple[List[int], Dict[int, Trace]]:
+    """Per-device inputs of the reference pipeline (UE list, per-UE traces)."""
+    sub = trace.filter_device(device_type)
+    ues = [int(u) for u in sub.unique_ues()]
+    per_ue = {ue: seg for ue, seg in sub.per_ue()}
+    return ues, per_ue
+
+
+def _reference_fit_device_hour(
+    per_ue: Mapping[int, Trace],
+    ues: Sequence[int],
+    slots: Sequence[int],
+    *,
+    machine: Optional[StateMachine],
+    machine_kind: str,
+    family: str,
+    clustered: bool,
+    theta_f: float,
+    theta_n: int,
+    max_cdf_points: int,
+) -> HourModel:
+    """One (device, hour) of the original per-segment pipeline."""
+    tele = get_telemetry()
+    if machine is None:
+        machine = build_machine(machine_kind)
+    segments = _build_segments(per_ue, ues, slots)
+    _replay_segments(segments, machine, machine_kind)
+    tele.count("segments_replayed", len(segments))
+    tele.count("transitions_counted", sum(len(seg.records) for seg in segments))
+    return _fit_hour(
+        segments,
+        ues,
+        num_slots=len(slots),
+        machine=machine,
+        machine_kind=machine_kind,
+        family=family,
+        clustered=clustered,
+        theta_f=theta_f,
+        theta_n=theta_n,
+        max_cdf_points=max_cdf_points,
     )
 
 

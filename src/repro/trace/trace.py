@@ -46,7 +46,14 @@ class Trace:
     construction when ``validate=True``).
     """
 
-    __slots__ = ("ue_ids", "times", "event_types", "device_types", "_ue_index")
+    __slots__ = (
+        "ue_ids",
+        "times",
+        "event_types",
+        "device_types",
+        "_ue_index",
+        "_content_hash",
+    )
 
     def __init__(
         self,
@@ -87,6 +94,7 @@ class Trace:
         self.event_types = event_types
         self.device_types = device_types
         self._ue_index: Optional[Dict[int, np.ndarray]] = None
+        self._content_hash: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -177,6 +185,29 @@ class Trace:
     def unique_ues(self) -> np.ndarray:
         """Sorted array of distinct UE ids."""
         return np.unique(self.ue_ids)
+
+    def content_hash(self) -> str:
+        """SHA-256 over the four column arrays (dtype-normalized bytes).
+
+        Two traces with identical events hash identically regardless of
+        how they were constructed or stored (compressed NPZ, memory map,
+        in-memory).  The digest is memoized; the columns are immutable
+        by convention.
+        """
+        if self._content_hash is None:
+            import hashlib
+
+            digest = hashlib.sha256()
+            digest.update(b"repro-trace-v1")
+            for column in (
+                self.ue_ids,
+                self.times,
+                self.event_types,
+                self.device_types,
+            ):
+                digest.update(np.ascontiguousarray(column).tobytes())
+            self._content_hash = digest.hexdigest()
+        return self._content_hash
 
     def device_of(self) -> Dict[int, DeviceType]:
         """Map every UE id to its device type."""

@@ -80,6 +80,12 @@ def rng() -> np.random.Generator:
     return np.random.default_rng(0)
 
 
+@pytest.fixture(autouse=True)
+def _isolated_model_cache(tmp_path, monkeypatch):
+    """Keep the fit cache out of the real user cache dir during tests."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 def make_trace(rows):
     """Build a Trace from (ue, time, event, device) tuples."""
     return Trace(

@@ -279,3 +279,69 @@ class TestExtendedCommands:
         out = capsys.readouterr().out
         assert "Macroscopic breakdown" in out
         assert "winner" in out
+
+
+class TestFitFlags:
+    def _fit_args(self, workspace, out, extra):
+        return [
+            "fit", "--trace", str(workspace / "real.npz"),
+            "--theta-n", "25", "--start-hour", "17",
+            "--out", str(out), *extra,
+        ]
+
+    def test_engines_produce_equal_models(self, workspace):
+        ref_out = workspace / "ref.json.gz"
+        comp_out = workspace / "comp.json.gz"
+        assert main(self._fit_args(
+            workspace, ref_out, ["--engine", "reference", "--no-cache"]
+        )) == 0
+        assert main(self._fit_args(
+            workspace, comp_out, ["--engine", "compiled", "--no-cache"]
+        )) == 0
+        assert (
+            ModelSet.load(ref_out).to_dict() == ModelSet.load(comp_out).to_dict()
+        )
+
+    def test_second_fit_is_a_cache_hit(self, workspace, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        cold_out = workspace / "cold.json.gz"
+        warm_out = workspace / "warm.json.gz"
+        assert main(self._fit_args(
+            workspace, cold_out, ["--cache-dir", str(cache)]
+        )) == 0
+        out = capsys.readouterr().out
+        assert "(cache hit)" not in out
+        assert main(self._fit_args(
+            workspace, warm_out, ["--cache-dir", str(cache)]
+        )) == 0
+        out = capsys.readouterr().out
+        assert "(cache hit)" in out
+        assert (
+            ModelSet.load(cold_out).to_dict() == ModelSet.load(warm_out).to_dict()
+        )
+
+    def test_telemetry_report_written(self, workspace, tmp_path):
+        import json
+
+        report_path = tmp_path / "fit_tele.json"
+        assert main(self._fit_args(
+            workspace, workspace / "tele.json.gz",
+            ["--no-cache", "--telemetry", str(report_path)],
+        )) == 0
+        report = json.loads(report_path.read_text())
+        assert report["run"]["command"] == "fit"
+        assert report["run"]["engine"] == "compiled"
+        assert report["counters"]["segments_replayed"] > 0
+        assert report["counters"]["transitions_counted"] > 0
+
+    @pytest.mark.slow
+    def test_processes_flag_matches_serial(self, workspace):
+        par_out = workspace / "par.json.gz"
+        ser_out = workspace / "ser.json.gz"
+        assert main(self._fit_args(
+            workspace, par_out, ["--no-cache", "--processes", "2"]
+        )) == 0
+        assert main(self._fit_args(workspace, ser_out, ["--no-cache"])) == 0
+        assert (
+            ModelSet.load(par_out).to_dict() == ModelSet.load(ser_out).to_dict()
+        )

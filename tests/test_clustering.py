@@ -152,3 +152,83 @@ class TestSingleCluster:
         assert result.num_clusters == 1
         assert result.clusters[0].ue_ids == (1, 2, 3)
         assert result.assignment == {1: 0, 2: 0, 3: 0}
+
+
+def _recursive_reference(features, theta_f, theta_n):
+    """The pre-iterative recursive formulation, kept as a regression pin.
+
+    Returns (cluster member tuples in DFS order, ue -> cluster id).
+    """
+    ue_ids = np.asarray(sorted(features), dtype=np.int64)
+    matrix = np.vstack([features[int(ue)] for ue in ue_ids])
+    dims = matrix.shape[1]
+    dim_weights = 1 << np.arange(dims)
+    clusters = []
+    assignment = {}
+
+    def finalize(rows):
+        cluster_id = len(clusters)
+        members = tuple(ue_ids[rows].tolist())
+        clusters.append(members)
+        for ue in members:
+            assignment[ue] = cluster_id
+
+    def visit(rows, lower, upper):
+        cell = matrix[rows]
+        spread = cell.max(axis=0) - cell.min(axis=0)
+        if len(rows) < theta_n or bool(np.all(spread < theta_f)):
+            return finalize(rows)
+        mid = (lower + upper) / 2.0
+        bits = (cell >= mid).astype(np.int64)
+        child_index = bits @ dim_weights
+        children = np.unique(child_index)
+        if len(children) == 1:
+            return finalize(rows)
+        for child in children:
+            child_rows = rows[child_index == child]
+            child_bits = (int(child) >> np.arange(dims)) & 1
+            visit(
+                child_rows,
+                np.where(child_bits == 1, mid, lower),
+                np.where(child_bits == 1, upper, mid),
+            )
+
+    visit(np.arange(len(ue_ids)), matrix.min(axis=0), matrix.max(axis=0))
+    return clusters, assignment
+
+
+class TestIterativeQuadtree:
+    def test_matches_recursive_formulation(self):
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            features = {ue: rng.uniform(0.0, 50.0, size=4) for ue in range(200)}
+            ref_clusters, ref_assignment = _recursive_reference(features, 5.0, 10)
+            result = adaptive_cluster(features, theta_f=5.0, theta_n=10)
+            assert [c.ue_ids for c in result.clusters] == ref_clusters
+            assert result.assignment == ref_assignment
+
+    def test_deep_split_has_no_recursion_limit(self):
+        # A geometric ladder of points peels off exactly one UE per
+        # midpoint split, driving the tree ~1070 levels deep - far
+        # beyond Python's default recursion limit.
+        features = {k: np.array([2.0 ** -k]) for k in range(1070)}
+        features[1070] = np.array([0.0])
+        result = adaptive_cluster(features, theta_f=0.0, theta_n=1)
+        assert result.num_clusters == len(features)
+        assert all(cluster.size == 1 for cluster in result.clusters)
+
+    @pytest.mark.slow
+    def test_million_row_regression(self):
+        rng = np.random.default_rng(7)
+        n = 1_000_000
+        matrix = rng.uniform(0.0, 100.0, size=(n, 2))
+        features = {ue: matrix[ue] for ue in range(n)}
+        result = adaptive_cluster(features, theta_f=10.0, theta_n=5000)
+        assert sum(c.size for c in result.clusters) == n
+        assert set(result.assignment) == set(range(n))
+        for cluster in result.clusters:
+            rows = np.asarray(cluster.ue_ids)
+            assert result.cluster_of(int(rows[0])) is cluster
+            cell = matrix[rows]
+            spread = cell.max(axis=0) - cell.min(axis=0)
+            assert cluster.size < 5000 or bool(np.all(spread < 10.0))

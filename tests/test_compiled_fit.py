@@ -1,0 +1,332 @@
+"""Compiled fitting fast path: exact equivalence, cache, parallel jobs.
+
+The tentpole guarantee is *exact* equality — the compiled engine must
+produce a ModelSet whose ``to_dict()`` compares equal (bit-identical
+floats) to the reference engine's, for every machine kind, sojourn
+family, and clustering mode.  The fast sweep runs on the hand-written
+tiny trace in tier-1; the slow sweep repeats it on the shared
+ground-truth trace.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.model import (
+    FIT_ENGINES,
+    fit_cache_key,
+    fit_model_set,
+    vectorized_replay,
+)
+from repro.model.compiled_fit import FitJobFailedError, machine_table
+from repro.model.fit_cache import CACHE_DIR_ENV, default_cache_dir
+from repro.statemachines.lte import emm_ecm_machine, two_level_machine
+from repro.statemachines.nr import nr_sa_machine
+from repro.statemachines.replay import replay_ue
+from repro.telemetry import RunTelemetry
+from repro.trace import DeviceType, EventType, Trace
+
+from conftest import TRACE_START_HOUR
+
+SETTINGS = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+#: machine builder + the event codes that machine can replay.
+MACHINES = {
+    "two_level": (two_level_machine, [0, 1, 2, 3, 4, 5]),
+    "emm_ecm": (emm_ecm_machine, [0, 1, 2, 3]),
+    "nr_sa": (nr_sa_machine, [0, 1, 2, 3, 4]),
+}
+
+FIT_KWARGS = dict(theta_n=2, trace_start_hour=TRACE_START_HOUR)
+
+
+def assert_model_sets_equal(a, b):
+    """Strict equality: identical structure and bit-identical floats."""
+    assert a.to_dict() == b.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# Vectorized replay vs replay_ue
+# ---------------------------------------------------------------------------
+
+
+class TestVectorizedReplay:
+    @pytest.mark.parametrize("kind", sorted(MACHINES))
+    @SETTINGS
+    @given(data=st.data())
+    def test_matches_replay_ue(self, kind, data):
+        builder, codes = MACHINES[kind]
+        machine = builder()
+        events = data.draw(st.lists(st.sampled_from(codes), max_size=40))
+        deltas = data.draw(
+            st.lists(
+                st.floats(min_value=1e-3, max_value=3600.0, allow_nan=False),
+                min_size=len(events),
+                max_size=len(events),
+            )
+        )
+        times = np.cumsum(np.asarray(deltas, dtype=np.float64))
+        ref = replay_ue(events, times, machine)
+        vec = vectorized_replay(events, times, machine)
+        assert vec.records() == ref.records
+        assert vec.violations == ref.violations
+        assert vec.final_state == ref.final_state
+
+    def test_default_machine_is_two_level(self):
+        events = [EventType.ATCH, EventType.SRV_REQ, EventType.S1_CONN_REL]
+        times = [1.0, 5.0, 9.0]
+        ref = replay_ue(events, times)
+        vec = vectorized_replay(events, times)
+        assert vec.records() == ref.records
+
+    def test_nr_sa_rejects_tau_with_reference_message(self):
+        machine = nr_sa_machine()
+        with pytest.raises(ValueError) as ref_err:
+            replay_ue([EventType.TAU], [1.0], machine)
+        with pytest.raises(ValueError) as vec_err:
+            vectorized_replay([EventType.TAU], [1.0], machine)
+        assert str(vec_err.value) == str(ref_err.value)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            vectorized_replay([EventType.ATCH], [1.0, 2.0])
+
+    def test_empty_sequence(self):
+        vec = vectorized_replay([], [])
+        assert vec.records() == []
+        assert vec.violations == 0
+        assert vec.final_state is None
+
+    def test_machine_table_cached(self):
+        assert machine_table("two_level") is machine_table("two_level")
+
+
+# ---------------------------------------------------------------------------
+# Exact ModelSet equality, compiled vs reference
+# ---------------------------------------------------------------------------
+
+
+SWEEP = [
+    (machine_kind, family, clustered)
+    for machine_kind in ("two_level", "emm_ecm")
+    for family in ("empirical", "poisson")
+    for clustered in (True, False)
+]
+
+
+class TestExactEquivalence:
+    @pytest.mark.parametrize("machine_kind,family,clustered", SWEEP)
+    def test_tiny_trace_sweep(self, tiny_trace, machine_kind, family, clustered):
+        kwargs = dict(
+            machine_kind=machine_kind,
+            family=family,
+            clustered=clustered,
+            **FIT_KWARGS,
+        )
+        ref = fit_model_set(tiny_trace, engine="reference", **kwargs)
+        fast = fit_model_set(tiny_trace, engine="compiled", **kwargs)
+        assert_model_sets_equal(fast, ref)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("machine_kind,family,clustered", SWEEP)
+    def test_ground_truth_sweep(
+        self, ground_truth_trace, machine_kind, family, clustered
+    ):
+        kwargs = dict(
+            machine_kind=machine_kind,
+            family=family,
+            clustered=clustered,
+            theta_n=25,
+            trace_start_hour=TRACE_START_HOUR,
+        )
+        ref = fit_model_set(ground_truth_trace, engine="reference", **kwargs)
+        fast = fit_model_set(ground_truth_trace, engine="compiled", **kwargs)
+        assert_model_sets_equal(fast, ref)
+
+    def test_nr_sa_raises_identically_on_lte_trace(self, tiny_trace):
+        # The tiny trace carries TAU events, which NR-SA cannot source.
+        with pytest.raises(ValueError) as ref_err:
+            fit_model_set(
+                tiny_trace, machine_kind="nr_sa", engine="reference", **FIT_KWARGS
+            )
+        with pytest.raises(ValueError) as fast_err:
+            fit_model_set(
+                tiny_trace, machine_kind="nr_sa", engine="compiled", **FIT_KWARGS
+            )
+        assert str(fast_err.value) == str(ref_err.value)
+
+
+# ---------------------------------------------------------------------------
+# Engine / processes validation
+# ---------------------------------------------------------------------------
+
+
+class TestValidation:
+    def test_engines_tuple(self):
+        assert FIT_ENGINES == ("compiled", "reference")
+
+    def test_unknown_engine_rejected(self, tiny_trace):
+        with pytest.raises(ValueError, match="engine"):
+            fit_model_set(tiny_trace, engine="turbo")
+
+    def test_negative_processes_rejected(self, tiny_trace):
+        with pytest.raises(ValueError, match="processes"):
+            fit_model_set(tiny_trace, processes=-1)
+
+    def test_fit_job_failed_error_attributes(self):
+        err = FitJobFailedError(DeviceType.PHONE, 17, 3, "boom")
+        assert err.device_type is DeviceType.PHONE
+        assert err.hour == 17
+        assert err.attempts == 3
+        assert "PHONE" in str(err) and "boom" in str(err)
+
+
+# ---------------------------------------------------------------------------
+# Parallel fitting
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+class TestParallelFit:
+    def test_parallel_compiled_matches_serial(self, ground_truth_trace):
+        kwargs = dict(theta_n=25, trace_start_hour=TRACE_START_HOUR)
+        serial = fit_model_set(ground_truth_trace, **kwargs)
+        par = fit_model_set(ground_truth_trace, processes=2, **kwargs)
+        assert_model_sets_equal(par, serial)
+
+    def test_parallel_reference_matches_compiled(self, ground_truth_trace):
+        kwargs = dict(theta_n=25, trace_start_hour=TRACE_START_HOUR)
+        compiled = fit_model_set(ground_truth_trace, **kwargs)
+        par_ref = fit_model_set(
+            ground_truth_trace, engine="reference", processes=2, **kwargs
+        )
+        assert_model_sets_equal(par_ref, compiled)
+
+
+# ---------------------------------------------------------------------------
+# Model cache
+# ---------------------------------------------------------------------------
+
+
+class TestModelCache:
+    def test_cold_then_warm(self, tiny_trace, tmp_path):
+        cold_tele = RunTelemetry()
+        cold = fit_model_set(
+            tiny_trace, cache_dir=tmp_path, telemetry=cold_tele, **FIT_KWARGS
+        )
+        assert cold_tele.counters.get("cache_misses") == 1
+        assert not cold_tele.counters.get("cache_hits")
+
+        warm_tele = RunTelemetry()
+        warm = fit_model_set(
+            tiny_trace, cache_dir=tmp_path, telemetry=warm_tele, **FIT_KWARGS
+        )
+        assert warm_tele.counters.get("cache_hits") == 1
+        assert_model_sets_equal(warm, cold)
+
+    def test_reference_engine_hits_compiled_entry(self, tiny_trace, tmp_path):
+        # The key excludes the engine: both produce exactly equal models.
+        cold = fit_model_set(tiny_trace, cache_dir=tmp_path, **FIT_KWARGS)
+        tele = RunTelemetry()
+        warm = fit_model_set(
+            tiny_trace,
+            engine="reference",
+            cache_dir=tmp_path,
+            telemetry=tele,
+            **FIT_KWARGS,
+        )
+        assert tele.counters.get("cache_hits") == 1
+        assert_model_sets_equal(warm, cold)
+
+    def test_corrupt_entry_is_a_miss(self, tiny_trace, tmp_path):
+        fit_model_set(tiny_trace, cache_dir=tmp_path, **FIT_KWARGS)
+        entry = next(tmp_path.glob("modelset-*.pkl"))
+        entry.write_bytes(b"definitely not a pickle")
+        tele = RunTelemetry()
+        fit_model_set(
+            tiny_trace, cache_dir=tmp_path, telemetry=tele, **FIT_KWARGS
+        )
+        assert tele.counters.get("cache_misses") == 1
+
+    def test_key_is_deterministic_and_param_sensitive(self, tiny_trace):
+        params = dict(
+            machine_kind="two_level",
+            family="empirical",
+            clustered=True,
+            theta_f=5.0,
+            theta_n=25,
+            trace_start_hour=TRACE_START_HOUR,
+            max_cdf_points=200,
+        )
+        key = fit_cache_key(tiny_trace, **params)
+        assert key == fit_cache_key(tiny_trace, **params)
+        for name, other in [
+            ("family", "poisson"),
+            ("theta_n", 99),
+            ("trace_start_hour", 0),
+            ("max_cdf_points", 10),
+        ]:
+            assert fit_cache_key(tiny_trace, **{**params, name: other}) != key
+
+    def test_key_tracks_trace_content(self, tiny_trace):
+        params = dict(
+            machine_kind="two_level",
+            family="empirical",
+            clustered=True,
+            theta_f=5.0,
+            theta_n=25,
+            trace_start_hour=TRACE_START_HOUR,
+            max_cdf_points=200,
+        )
+        shifted = Trace(
+            tiny_trace.ue_ids,
+            tiny_trace.times + 1.0,
+            tiny_trace.event_types,
+            tiny_trace.device_types,
+        )
+        assert fit_cache_key(shifted, **params) != fit_cache_key(
+            tiny_trace, **params
+        )
+
+    def test_default_cache_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        assert default_cache_dir() == tmp_path
+        monkeypatch.delenv(CACHE_DIR_ENV)
+        assert default_cache_dir().name == "repro"
+
+    def test_no_cache_dir_means_no_cache_io(self, tiny_trace):
+        tele = RunTelemetry()
+        fit_model_set(tiny_trace, telemetry=tele, **FIT_KWARGS)
+        assert "cache_hits" not in tele.counters
+        assert "cache_misses" not in tele.counters
+
+
+# ---------------------------------------------------------------------------
+# Telemetry
+# ---------------------------------------------------------------------------
+
+
+class TestFitTelemetry:
+    def test_counters(self, tiny_trace):
+        tele = RunTelemetry()
+        fit_model_set(tiny_trace, telemetry=tele, **FIT_KWARGS)
+        # Two UEs, one hour slot: two raw segments; the two-level
+        # machine replays every event.
+        assert tele.counters["segments_replayed"] == 2
+        assert tele.counters["transitions_counted"] == tiny_trace.times.size
+
+    def test_emm_ecm_counts_filtered_transitions(self, tiny_trace):
+        tele = RunTelemetry()
+        fit_model_set(
+            tiny_trace, machine_kind="emm_ecm", telemetry=tele, **FIT_KWARGS
+        )
+        category1 = np.isin(
+            tiny_trace.event_types,
+            [int(e) for e in (EventType.ATCH, EventType.DTCH,
+                              EventType.SRV_REQ, EventType.S1_CONN_REL)],
+        )
+        assert tele.counters["segments_replayed"] == 2
+        assert tele.counters["transitions_counted"] == int(category1.sum())

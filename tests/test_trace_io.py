@@ -91,3 +91,54 @@ class TestNpz:
         path = tmp_path / "empty.npz"
         write_npz(Trace.empty(), path)
         assert len(read_npz(path)) == 0
+
+
+class TestNpzMmap:
+    def test_uncompressed_roundtrip_is_memory_mapped(self, sample, tmp_path):
+        path = tmp_path / "trace.npz"
+        write_npz(sample, path, compress=False)
+        back = read_npz(path, mmap=True)
+        assert back == sample
+        # The Trace constructor strips the memmap subclass but keeps the
+        # mapping alive (and copy-free) as each column's base.
+        assert isinstance(back.times.base, np.memmap)
+
+    def test_compressed_falls_back_to_full_read(self, sample, tmp_path):
+        path = tmp_path / "trace.npz"
+        write_npz(sample, path, compress=True)
+        back = read_npz(path, mmap=True)
+        assert back == sample
+        assert not isinstance(back.times.base, np.memmap)
+
+    def test_mmap_false_matches_default_reader(self, sample, tmp_path):
+        path = tmp_path / "trace.npz"
+        write_npz(sample, path, compress=False)
+        assert read_npz(path, mmap=False) == sample
+
+    def test_empty_trace_mmap(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        write_npz(Trace.empty(), path, compress=False)
+        assert len(read_npz(path, mmap=True)) == 0
+
+    def test_exact_float_preservation(self, sample, tmp_path):
+        path = tmp_path / "trace.npz"
+        write_npz(sample, path, compress=False)
+        back = read_npz(path, mmap=True)
+        assert np.array_equal(back.times, sample.times)
+
+
+class TestContentHash:
+    def test_stable_across_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "trace.npz"
+        write_npz(sample, path, compress=False)
+        assert read_npz(path, mmap=True).content_hash() == sample.content_hash()
+
+    def test_cached_per_instance(self, sample):
+        assert sample.content_hash() is sample.content_hash()
+
+    def test_differs_on_content_change(self, sample):
+        shifted = Trace(
+            sample.ue_ids, sample.times + 1.0,
+            sample.event_types, sample.device_types,
+        )
+        assert shifted.content_hash() != sample.content_hash()
