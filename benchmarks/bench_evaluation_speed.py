@@ -1,0 +1,182 @@
+"""Compiled vs reference evaluation-pipeline throughput.
+
+Runs ``evaluate_methods`` on the same phone-cohort train/validation
+pair with both engines at several population sizes and writes
+machine-readable JSON (``benchmarks/results/BENCH_evaluation.json``),
+mirroring ``BENCH_fitting.json``.  Models are pre-fitted once (outside
+the clock, with the compiled fitter) and passed in, so the timings
+isolate what the evaluation tentpole changed: generation plus the
+Table-4/5 metric computation — whole-cohort array replays and
+``bincount``-based count CDFs versus the per-event reference walk.
+Also measured: the compiled engine with per-(method × device) metric
+jobs fanned across all CPUs.
+
+``REPRO_BENCH_EVAL_UES`` overrides the population ladder
+(comma-separated phone counts); the ``>= 5x`` speedup assertion only
+applies at 20,000 UEs and above, where the vectorized replay has data
+to amortize its setup over.
+"""
+
+import json
+import os
+import time
+
+from repro.baselines import fit_method
+from repro.groundtruth import simulate_ground_truth
+from repro.harness import EVAL_ENGINES, evaluate_methods
+from repro.telemetry import RunTelemetry
+from repro.trace import DeviceType
+from repro.validation import format_table
+
+from conftest import RESULTS_DIR, write_result
+
+POPULATIONS = tuple(
+    int(n)
+    for n in os.environ.get("REPRO_BENCH_EVAL_UES", "2000,20000").split(",")
+)
+
+#: The paper validates at the busiest hour; metric cost is dominated by
+#: event volume, so the bench evaluates the evening peak.
+BENCH_START_HOUR = 19
+
+REPEATS = 2
+
+METHODS = ("base", "ours")
+
+#: Population size from which the hard perf assertion applies.
+ASSERT_FLOOR = 20_000
+
+SPEEDUP_FLOOR = 5.0
+
+
+def _timed_eval(train, real, models, engine, **kwargs):
+    telemetry = RunTelemetry()
+    start = time.perf_counter()
+    report = evaluate_methods(
+        train,
+        real,
+        methods=METHODS,
+        models=models,
+        generation_hour=BENCH_START_HOUR,
+        engine=engine,
+        telemetry=telemetry,
+        **kwargs,
+    )
+    return time.perf_counter() - start, report
+
+
+def test_evaluation_engine_speed():
+    # Warm both engines (imports, machine lowering) outside the clock.
+    warm_train = simulate_ground_truth(
+        {DeviceType.PHONE: 50},
+        duration=7200.0,
+        seed=2,
+        start_hour=BENCH_START_HOUR,
+    )
+    warm_real = simulate_ground_truth(
+        {DeviceType.PHONE: 50},
+        duration=3600.0,
+        seed=3,
+        start_hour=BENCH_START_HOUR,
+    )
+    warm_models = {
+        m: fit_method(m, warm_train, theta_n=25,
+                      trace_start_hour=BENCH_START_HOUR)
+        for m in METHODS
+    }
+    for engine in EVAL_ENGINES:
+        _timed_eval(warm_train, warm_real, warm_models, engine)
+
+    results = {
+        "bench": "evaluation_engines",
+        "generation_hour": BENCH_START_HOUR,
+        "methods": list(METHODS),
+        "populations": {},
+    }
+    rows = []
+    for num_ues in POPULATIONS:
+        train = simulate_ground_truth(
+            {DeviceType.PHONE: num_ues},
+            duration=2 * 3600.0,
+            seed=9,
+            start_hour=BENCH_START_HOUR,
+        )
+        real = simulate_ground_truth(
+            {DeviceType.PHONE: num_ues},
+            duration=3600.0,
+            seed=10,
+            start_hour=BENCH_START_HOUR,
+        )
+        theta_n = max(25, num_ues // 10)
+        models = {
+            m: fit_method(m, train, theta_n=theta_n,
+                          trace_start_hour=BENCH_START_HOUR)
+            for m in METHODS
+        }
+
+        per_engine = {}
+        reports = {}
+        for engine in EVAL_ENGINES:
+            elapsed = float("inf")
+            for _ in range(REPEATS):
+                once, report = _timed_eval(train, real, models, engine)
+                elapsed = min(elapsed, once)
+            per_engine[engine] = {"seconds": elapsed}
+            reports[engine] = report
+        # The tentpole guarantee, re-checked where it matters most.
+        assert (
+            reports["compiled"].to_dict()["methods"]
+            == reports["reference"].to_dict()["methods"]
+        ), f"engines diverged at {num_ues} UEs"
+        speedup = (
+            per_engine["reference"]["seconds"]
+            / per_engine["compiled"]["seconds"]
+        )
+
+        par_elapsed, par_report = _timed_eval(
+            train, real, models, "compiled", processes=0
+        )
+        assert (
+            par_report.to_dict()["methods"]
+            == reports["compiled"].to_dict()["methods"]
+        ), f"parallel metrics diverged at {num_ues} UEs"
+
+        results["populations"][str(num_ues)] = {
+            "PHONE": {
+                "events_real": int(real.times.size),
+                "theta_n": theta_n,
+                "reference": per_engine["reference"],
+                "compiled": per_engine["compiled"],
+                "speedup": speedup,
+                "compiled_parallel": {
+                    "seconds": par_elapsed,
+                    "processes": os.cpu_count(),
+                },
+            }
+        }
+        rows.append(
+            [
+                f"{num_ues}",
+                f"{per_engine['reference']['seconds']:.2f} s",
+                f"{per_engine['compiled']['seconds']:.2f} s",
+                f"{speedup:.1f}x",
+                f"{par_elapsed:.2f} s",
+            ]
+        )
+
+        if num_ues >= ASSERT_FLOOR:
+            assert speedup >= SPEEDUP_FLOOR, (
+                f"compiled evaluation only {speedup:.1f}x faster "
+                f"at {num_ues} UEs"
+            )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    json_path = RESULTS_DIR / "BENCH_evaluation.json"
+    json_path.write_text(json.dumps(results, indent=2) + "\n")
+
+    text = format_table(
+        ["phone UEs", "reference", "compiled", "speedup", "parallel"],
+        rows,
+        title="Evaluation speed: 1-hour phone validation, both engines",
+    )
+    write_result("evaluation_speed", text + f"\n[json in {json_path}]")

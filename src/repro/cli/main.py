@@ -24,17 +24,21 @@ telemetry  summarize a telemetry report written by --telemetry
 
 Traces are read/written by extension: ``.npz`` (compact) or ``.csv``.
 Model sets are JSON, gzipped when the path ends in ``.gz``.  The
-``fit``, ``generate`` and ``core`` commands take ``--telemetry PATH``
-to write a versioned, schema-validated observability report of the run
-(see :mod:`repro.telemetry`); ``repro telemetry summarize PATH``
-renders its per-phase breakdown.  ``fit`` defaults to the compiled
-engine and the content-addressed model cache under ``~/.cache/repro``
-(``--engine reference``, ``--no-cache``, ``--cache-dir`` override).
+``fit``, ``generate``, ``evaluate`` and ``core`` commands take
+``--telemetry PATH`` to write a versioned, schema-validated
+observability report of the run (see :mod:`repro.telemetry`);
+``repro telemetry summarize PATH`` renders its per-phase breakdown.
+``fit`` and ``evaluate`` default to the compiled engine and the
+content-addressed model cache under ``~/.cache/repro`` (``--engine
+reference``, ``--no-cache``, ``--cache-dir`` override); ``evaluate``
+additionally fans per-(method × device) metric jobs across
+``--processes`` workers and can emit the full report as ``--json``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -44,7 +48,7 @@ from ..generator import TrafficGenerator
 from ..generator.parallel import generate_parallel
 from ..groundtruth import simulate_ground_truth
 from ..mcn import CoreNetworkSimulator, MmeSimulator
-from ..harness import evaluate_methods
+from ..harness import EVAL_ENGINES, evaluate_methods
 from ..model import (
     FIT_ENGINES,
     ModelSet,
@@ -268,8 +272,24 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    train = _load_trace(args.train)
-    real = _load_trace(args.real)
+    tele = RunTelemetry(
+        {
+            "command": "evaluate",
+            "train": args.train,
+            "real": args.real,
+            "methods": args.methods,
+            "engine": args.engine,
+            "generation_hour": args.hour,
+            "seed": args.seed,
+            "processes": args.processes,
+        }
+    )
+    if args.progress:
+        tele.on_progress(_print_progress)
+    with tele.span("trace-load"):
+        train = _load_trace(args.train, mmap=True)
+        real = _load_trace(args.real, mmap=True)
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
     report = evaluate_methods(
         train,
         real,
@@ -279,11 +299,23 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         trace_start_hour=args.train_start_hour,
         generation_hour=args.hour,
         seed=args.seed,
+        engine=args.engine,
+        processes=args.processes,
+        cache_dir=cache_dir,
+        telemetry=tele,
     )
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"evaluation report -> {args.json}")
     print(report.to_text())
     for device_type in DeviceType:
         if len(real.filter_device(device_type)) > 0:
             print(f"winner ({device_type.name}): {report.winner(device_type)}")
+    if args.telemetry:
+        tele.write_report(args.telemetry)
+        print(f"telemetry report -> {args.telemetry}")
     return 0
 
 
@@ -522,6 +554,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--train-start-hour", type=int, default=0)
     p.add_argument("--hour", type=int, default=0)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--engine", choices=EVAL_ENGINES, default="compiled",
+                   help="evaluation engine (both produce identical reports)")
+    p.add_argument("--processes", type=int, default=None,
+                   help="metric/fit worker processes (0 = all CPUs; "
+                        "default serial)")
+    p.add_argument("--cache-dir", default=None,
+                   help="model cache directory (default ~/.cache/repro)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="skip the content-addressed model cache")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the report as JSON to PATH")
+    p.add_argument("--telemetry", default=None, metavar="PATH",
+                   help="write a schema-validated JSON telemetry report "
+                        "of the run to PATH")
+    p.add_argument("--progress", action="store_true",
+                   help="print rate-limited progress lines to stderr")
     p.set_defaults(func=_cmd_evaluate)
 
     p = sub.add_parser("check", help="audit a fitted model set")

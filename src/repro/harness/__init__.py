@@ -2,7 +2,9 @@
 
 from .evaluation import (
     DEFAULT_METHODS,
+    EVAL_ENGINES,
     MICRO_QUANTITIES,
+    EvalJobFailedError,
     EvaluationReport,
     MethodResult,
     evaluate_methods,
@@ -10,6 +12,8 @@ from .evaluation import (
 
 __all__ = [
     "DEFAULT_METHODS",
+    "EVAL_ENGINES",
+    "EvalJobFailedError",
     "EvaluationReport",
     "MICRO_QUANTITIES",
     "MethodResult",

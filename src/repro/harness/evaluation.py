@@ -6,32 +6,53 @@ for a given population, and compute the macroscopic (Tables 4/11) and
 microscopic (Table 5) fidelity metrics against a held-out real trace.
 The benchmark suite and the CLI both build on it; downstream users can
 run the identical evaluation on their own traces.
+
+Two engines compute the metrics: ``"compiled"`` (default) replays whole
+cohorts as flat arrays via
+:mod:`repro.statemachines.compiled_replay` and drives the compiled
+fitter; ``"reference"`` keeps the original per-event Python paths as
+the exact-equality oracle.  Both produce identical reports.  With
+``processes`` the per-(method × device) metric jobs additionally fan
+out over the fault-tolerant pool of :mod:`repro.generator.parallel`,
+sharing the traces with workers as memory-mapped uncompressed NPZ.
+
+Micro-metrics are measured **per quantity**: a quantity that cannot be
+computed (say, no complete IDLE sojourn in a short trace) lands in
+``MethodResult.micro_skipped`` with the reason, and never discards the
+quantities that *can* be computed.  Count CDFs are padded to the
+nominal population on both sides (zero-event UEs are invisible in a
+trace but part of the population the CDF describes), so Table-5
+numbers stay unbiased when the synthesized population differs from the
+real one — the paper's Scenario 2.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Mapping, Optional, Sequence
+import os
+import shutil
+import tempfile
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..baselines import fit_method
 from ..generator import TrafficGenerator
 from ..model.model_set import ModelSet
-from ..statemachines import lte
-from ..trace.events import DeviceType, EventType
+from ..telemetry import RunTelemetry, get_telemetry, use_telemetry
+from ..trace.events import DeviceType
 from ..trace.trace import Trace
 from ..validation.breakdown import (
     BREAKDOWN_ROWS,
     breakdown_difference,
     breakdown_with_states,
-    max_abs_breakdown_difference,
 )
-from ..validation.microscopic import count_ydistance, sojourn_ydistance
+from ..validation.microscopic import MICRO_QUANTITIES, micro_comparison_partial
 from ..validation.report import format_table
 
 DEFAULT_METHODS = ("base", "v1", "v2", "ours")
 
-#: Microscopic quantities of Table 5.
-MICRO_QUANTITIES = ("SRV_REQ", "S1_CONN_REL", "CONNECTED", "IDLE")
+#: Available evaluation engines (mirrors ``model.FIT_ENGINES`` and
+#: ``statemachines.REPLAY_ENGINES``).
+EVAL_ENGINES = ("compiled", "reference")
 
 
 @dataclasses.dataclass
@@ -44,6 +65,11 @@ class MethodResult:
     macro_diff: Dict[DeviceType, Dict[str, float]]
     macro_max_error: Dict[DeviceType, float]
     micro: Dict[DeviceType, Dict[str, float]]
+    #: Micro quantities that could not be measured, with the reason —
+    #: always disjoint from ``micro[device]``'s keys.
+    micro_skipped: Dict[DeviceType, Dict[str, str]] = dataclasses.field(
+        default_factory=dict
+    )
 
 
 @dataclasses.dataclass
@@ -54,15 +80,26 @@ class EvaluationReport:
     num_ues: int
     generation_hour: int
     results: Dict[str, MethodResult]
+    engine: str = "reference"
 
     def winner(self, device_type: DeviceType) -> str:
-        """Method with the smallest macroscopic error for a device."""
-        return min(
-            self.results,
-            key=lambda m: self.results[m].macro_max_error.get(
-                device_type, float("inf")
-            ),
-        )
+        """Method with the smallest macroscopic error for a device.
+
+        Raises :class:`ValueError` if no method measured that device
+        type at all (previously an arbitrary first method won the
+        all-``inf`` tie).
+        """
+        measured = {
+            method: result.macro_max_error[device_type]
+            for method, result in self.results.items()
+            if device_type in result.macro_max_error
+        }
+        if not measured:
+            raise ValueError(
+                f"no method measured device type {device_type.name}; "
+                "the real trace has no such UEs"
+            )
+        return min(measured, key=measured.__getitem__)
 
     def to_text(self) -> str:
         """Render the macro and micro tables for every device type."""
@@ -71,7 +108,9 @@ class EvaluationReport:
         for device_type in DeviceType:
             if len(self.real.filter_device(device_type)) == 0:
                 continue
-            real_bd = breakdown_with_states(self.real, device_type)
+            real_bd = breakdown_with_states(
+                self.real, device_type, engine=self.engine
+            )
             rows = []
             for row_key in BREAKDOWN_ROWS:
                 rows.append(
@@ -104,11 +143,229 @@ class EvaluationReport:
                     title=f"Microscopic max y-distance - {device_type.name}",
                 )
             )
+            skip_lines = [
+                f"  [{m}] {quantity}: {reason}"
+                for m in methods
+                for quantity, reason in self.results[m]
+                .micro_skipped.get(device_type, {})
+                .items()
+            ]
+            if skip_lines:
+                blocks.append(
+                    f"Skipped quantities - {device_type.name}:\n"
+                    + "\n".join(skip_lines)
+                )
         return "\n\n".join(blocks)
+
+    def to_dict(self) -> dict:
+        """JSON-ready view of the report (no traces or model objects)."""
+        return {
+            "num_ues": self.num_ues,
+            "generation_hour": self.generation_hour,
+            "engine": self.engine,
+            "methods": {
+                method: {
+                    "macro_diff": {
+                        dt.name: dict(rows)
+                        for dt, rows in result.macro_diff.items()
+                    },
+                    "macro_max_error": {
+                        dt.name: value
+                        for dt, value in result.macro_max_error.items()
+                    },
+                    "micro": {
+                        dt.name: dict(values)
+                        for dt, values in result.micro.items()
+                    },
+                    "micro_skipped": {
+                        dt.name: dict(reasons)
+                        for dt, reasons in result.micro_skipped.items()
+                    },
+                }
+                for method, result in self.results.items()
+            },
+        }
 
 
 def _fmt_pct(value: Optional[float]) -> str:
     return "-" if value is None else f"{100 * value:.1f}%"
+
+
+class EvalJobFailedError(RuntimeError):
+    """A (method, device) metric job failed deterministically after retries."""
+
+    def __init__(
+        self, method: str, device_type: DeviceType, attempts: int, reason: str
+    ) -> None:
+        self.method = method
+        self.device_type = device_type
+        self.attempts = attempts
+        super().__init__(
+            f"evaluation job for method {method!r}, device {device_type.name} "
+            f"failed after {attempts} attempt(s): {reason}"
+        )
+
+
+def _device_metrics(
+    real: Trace,
+    synthesized: Trace,
+    device_type: DeviceType,
+    *,
+    engine: str,
+    real_num_ues: Optional[int],
+    syn_num_ues: Optional[int],
+) -> Tuple[Dict[str, float], float, Dict[str, float], Dict[str, str]]:
+    """All metrics of one (method, device) cell of Tables 4/5."""
+    macro_diff = breakdown_difference(
+        real, synthesized, device_type, engine=engine
+    )
+    macro_max = max(abs(v) for v in macro_diff.values())
+    micro, skipped = micro_comparison_partial(
+        real,
+        synthesized,
+        device_type,
+        real_num_ues=real_num_ues,
+        syn_num_ues=syn_num_ues,
+        engine=engine,
+    )
+    return macro_diff, macro_max, micro, skipped
+
+
+# Worker-global state for parallel metric jobs, installed once per
+# process by _init_eval_worker (same pattern as the fit workers).
+_EVAL_WORKER: dict = {
+    "real": None,
+    "syn_paths": None,
+    "engine": None,
+    "real_num_ues": None,
+    "syn_num_ues": None,
+    "scratch": None,
+    "syn": {},
+}
+
+
+def _init_eval_worker(payload: dict, scratch_dir: Optional[str] = None) -> None:
+    from ..trace.io import read_npz
+
+    _EVAL_WORKER["real"] = read_npz(payload["real_path"], mmap=True)
+    _EVAL_WORKER["syn_paths"] = payload["syn_paths"]
+    _EVAL_WORKER["engine"] = payload["engine"]
+    _EVAL_WORKER["real_num_ues"] = payload["real_num_ues"]
+    _EVAL_WORKER["syn_num_ues"] = payload["syn_num_ues"]
+    _EVAL_WORKER["scratch"] = scratch_dir
+    _EVAL_WORKER["syn"] = {}
+
+
+def _eval_job(args: Tuple[int, str, int]) -> Tuple[tuple, dict]:
+    """Compute one (method, device) cell inside a worker process."""
+    job_idx, method, device_code = args
+    tele = RunTelemetry()
+    with use_telemetry(tele):
+        metrics = _eval_job_metrics(job_idx, method, device_code)
+    return (method, device_code, metrics), tele.child_record()
+
+
+def _eval_job_metrics(job_idx: int, method: str, device_code: int):
+    from ..trace.io import read_npz
+
+    real = _EVAL_WORKER["real"]
+    assert real is not None, "evaluation worker not initialized"
+    if _EVAL_WORKER["scratch"] is not None:
+        # Started-marker: lets the parent attribute a pool crash to the
+        # jobs that were actually in flight (see run_tasks_pool).
+        try:
+            with open(
+                os.path.join(_EVAL_WORKER["scratch"], f"started-{job_idx}"), "w"
+            ):
+                pass
+        except OSError:
+            pass
+    synthesized = _EVAL_WORKER["syn"].get(method)
+    if synthesized is None:
+        synthesized = read_npz(_EVAL_WORKER["syn_paths"][method], mmap=True)
+        _EVAL_WORKER["syn"][method] = synthesized
+    return _device_metrics(
+        real,
+        synthesized,
+        DeviceType(device_code),
+        engine=_EVAL_WORKER["engine"],
+        real_num_ues=_EVAL_WORKER["real_num_ues"].get(device_code),
+        syn_num_ues=_EVAL_WORKER["syn_num_ues"][method].get(device_code),
+    )
+
+
+def _run_eval_jobs(
+    real: Trace,
+    synthesized: Mapping[str, Trace],
+    jobs: Sequence[Tuple[str, int]],
+    *,
+    engine: str,
+    processes: Optional[int],
+    real_num_ues: Dict[int, int],
+    syn_num_ues: Dict[str, Dict[int, int]],
+    max_retries: int = 2,
+) -> Dict[Tuple[str, int], tuple]:
+    """Fan the (method, device) metric jobs across a process pool.
+
+    The real and synthesized traces are written once each as
+    *uncompressed* NPZ that every worker memory-maps, so the columns
+    are shared through the page cache instead of being pickled per job.
+    Failures reuse the generation pool's retry/fault-attribution loop
+    (bumping ``eval_retries``); a job that keeps failing raises
+    :class:`EvalJobFailedError`.
+    """
+    from ..generator.parallel import _Backoff, run_tasks_pool
+    from ..trace.io import write_npz
+
+    tmp = tempfile.mkdtemp(prefix="repro-eval-")
+    results: Dict[int, tuple] = {}
+    try:
+        real_path = os.path.join(tmp, "real.npz")
+        write_npz(real, real_path, compress=False)
+        syn_paths = {}
+        for method, trace in synthesized.items():
+            syn_paths[method] = os.path.join(tmp, f"syn-{method}.npz")
+            write_npz(trace, syn_paths[method], compress=False)
+        payload = {
+            "real_path": real_path,
+            "syn_paths": syn_paths,
+            "engine": engine,
+            "real_num_ues": dict(real_num_ues),
+            "syn_num_ues": {m: dict(v) for m, v in syn_num_ues.items()},
+        }
+        tasks = {
+            i: (i, method, int(device_code))
+            for i, (method, device_code) in enumerate(jobs)
+        }
+
+        def _failed(idx: int, attempts: int, reason: str) -> EvalJobFailedError:
+            method, device_code = jobs[idx]
+            return EvalJobFailedError(
+                method, DeviceType(device_code), attempts, reason
+            )
+
+        run_tasks_pool(
+            _eval_job,
+            payload,
+            _init_eval_worker,
+            tasks,
+            list(range(len(jobs))),
+            results,
+            processes=processes,
+            max_retries=max_retries,
+            backoff=_Backoff(0.5, 30.0),
+            task_failed=_failed,
+            phase="eval-metrics",
+            retry_counter="eval_retries",
+        )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    out: Dict[Tuple[str, int], tuple] = {}
+    for i in range(len(jobs)):
+        method, device_code, metrics = results[i]
+        out[(method, int(device_code))] = metrics
+    return out
 
 
 def evaluate_methods(
@@ -123,6 +380,10 @@ def evaluate_methods(
     generation_hour: int = 0,
     seed: int = 0,
     models: Optional[Mapping[str, ModelSet]] = None,
+    engine: str = "compiled",
+    processes: Optional[int] = None,
+    cache_dir: "Optional[str | os.PathLike[str]]" = None,
+    telemetry: Optional[RunTelemetry] = None,
 ) -> EvaluationReport:
     """Run the paper's method comparison.
 
@@ -135,68 +396,169 @@ def evaluate_methods(
         ``generation_hour``.
     num_ues:
         Synthesized population size; defaults to the real trace's UE
-        count (the paper's Scenario 1 setup).
+        count (the paper's Scenario 1 setup).  Per-device nominal
+        populations are resolved by the training device mix and used to
+        pad the zero-event UEs into the count CDFs.
     models:
         Pre-fitted model sets by method name — skips fitting for the
         methods present (useful when sweeping scenarios).
+    engine:
+        ``"compiled"`` (default) or ``"reference"``; selects both the
+        fitting engine and the metric/replay engine.  Both produce
+        identical reports.
+    processes:
+        ``None`` or ``1`` computes metrics serially in-process; ``0``
+        fans per-(method × device) jobs across all CPUs; ``>= 2`` uses
+        that many worker processes (fitting fans out the same way).
+    cache_dir:
+        Content-addressed model-cache directory passed to the fitter
+        (``None`` disables caching).
+    telemetry:
+        Explicit collector; defaults to the ambient one.  Phases appear
+        as ``eval-fit`` / ``eval-generate`` / ``eval-metrics`` spans.
     """
+    if engine not in EVAL_ENGINES:
+        raise ValueError(
+            f"unknown evaluation engine {engine!r}; expected one of {EVAL_ENGINES}"
+        )
+    if processes is not None and processes < 0:
+        raise ValueError(f"processes must be non-negative, got {processes}")
     if num_ues is None:
         num_ues = real.num_ues
+
+    tele = telemetry if telemetry is not None else get_telemetry()
+    with use_telemetry(tele), tele.span("evaluate"):
+        report = _evaluate_methods(
+            train,
+            real,
+            num_ues=num_ues,
+            methods=methods,
+            theta_f=theta_f,
+            theta_n=theta_n,
+            trace_start_hour=trace_start_hour,
+            generation_hour=generation_hour,
+            seed=seed,
+            models=models,
+            engine=engine,
+            processes=processes,
+            cache_dir=cache_dir,
+        )
+    tele.record_peak_rss()
+    return report
+
+
+def _evaluate_methods(
+    train: Trace,
+    real: Trace,
+    *,
+    num_ues: int,
+    methods: Sequence[str],
+    theta_f: float,
+    theta_n: int,
+    trace_start_hour: int,
+    generation_hour: int,
+    seed: int,
+    models: Optional[Mapping[str, ModelSet]],
+    engine: str,
+    processes: Optional[int],
+    cache_dir: "Optional[str | os.PathLike[str]]",
+) -> EvaluationReport:
+    tele = get_telemetry()
+    devices = [
+        device_type
+        for device_type in DeviceType
+        if len(real.filter_device(device_type)) > 0
+    ]
+    real_num_ues = {
+        int(device_type): real.filter_device(device_type).num_ues
+        for device_type in devices
+    }
+
+    fitted: Dict[str, ModelSet] = {}
+    synthesized: Dict[str, Trace] = {}
+    syn_num_ues: Dict[str, Dict[int, int]] = {}
+    with tele.span("eval-fit"):
+        for method in methods:
+            if models is not None and method in models:
+                fitted[method] = models[method]
+            else:
+                fitted[method] = fit_method(
+                    method,
+                    train,
+                    theta_f=theta_f,
+                    theta_n=theta_n,
+                    trace_start_hour=trace_start_hour,
+                    engine=engine,
+                    processes=processes,
+                    cache_dir=cache_dir,
+                )
+    with tele.span("eval-generate"):
+        for method in methods:
+            generator = TrafficGenerator(fitted[method])
+            # The nominal per-device populations the generator will
+            # materialize — the count CDFs must be padded to these, not
+            # to the UEs that happened to emit events (Scenario 2).
+            syn_num_ues[method] = {
+                int(dt): n
+                for dt, n in generator.resolve_counts(num_ues).items()
+            }
+            synthesized[method] = generator.generate(
+                num_ues, start_hour=generation_hour, num_hours=1, seed=seed
+            )
+    tele.count("eval_methods", len(methods))
+
+    jobs = [(method, int(device_type)) for method in methods for device_type in devices]
+    tele.count("eval_metric_jobs", len(jobs))
+    with tele.span("eval-metrics"):
+        if processes is not None and processes != 1:
+            metrics = _run_eval_jobs(
+                real,
+                synthesized,
+                jobs,
+                engine=engine,
+                processes=processes if processes else None,
+                real_num_ues=real_num_ues,
+                syn_num_ues=syn_num_ues,
+            )
+        else:
+            metrics = {}
+            for done, (method, device_code) in enumerate(jobs, start=1):
+                metrics[(method, device_code)] = _device_metrics(
+                    real,
+                    synthesized[method],
+                    DeviceType(device_code),
+                    engine=engine,
+                    real_num_ues=real_num_ues.get(device_code),
+                    syn_num_ues=syn_num_ues[method].get(device_code),
+                )
+                tele.progress("eval-metrics", done, len(jobs))
+
     results: Dict[str, MethodResult] = {}
     for method in methods:
-        if models is not None and method in models:
-            model = models[method]
-        else:
-            model = fit_method(
-                method,
-                train,
-                theta_f=theta_f,
-                theta_n=theta_n,
-                trace_start_hour=trace_start_hour,
-            )
-        synthesized = TrafficGenerator(model).generate(
-            num_ues, start_hour=generation_hour, num_hours=1, seed=seed
-        )
         macro_diff: Dict[DeviceType, Dict[str, float]] = {}
         macro_max: Dict[DeviceType, float] = {}
         micro: Dict[DeviceType, Dict[str, float]] = {}
-        for device_type in DeviceType:
-            if len(real.filter_device(device_type)) == 0:
-                continue
-            macro_diff[device_type] = breakdown_difference(
-                real, synthesized, device_type
-            )
-            macro_max[device_type] = max_abs_breakdown_difference(
-                real, synthesized, device_type
-            )
-            metrics: Dict[str, float] = {}
-            try:
-                metrics["SRV_REQ"] = count_ydistance(
-                    real, synthesized, device_type, EventType.SRV_REQ
-                )
-                metrics["S1_CONN_REL"] = count_ydistance(
-                    real, synthesized, device_type, EventType.S1_CONN_REL
-                )
-                metrics["CONNECTED"] = sojourn_ydistance(
-                    real, synthesized, device_type, lte.CONNECTED
-                )
-                metrics["IDLE"] = sojourn_ydistance(
-                    real, synthesized, device_type, lte.IDLE
-                )
-            except ValueError:
-                pass  # too little data for some quantity; report partial
-            micro[device_type] = metrics
+        micro_skipped: Dict[DeviceType, Dict[str, str]] = {}
+        for device_type in devices:
+            diff, max_err, values, skipped = metrics[(method, int(device_type))]
+            macro_diff[device_type] = diff
+            macro_max[device_type] = max_err
+            micro[device_type] = values
+            if skipped:
+                micro_skipped[device_type] = skipped
         results[method] = MethodResult(
             method=method,
-            model=model,
-            synthesized=synthesized,
+            model=fitted[method],
+            synthesized=synthesized[method],
             macro_diff=macro_diff,
             macro_max_error=macro_max,
             micro=micro,
+            micro_skipped=micro_skipped,
         )
     return EvaluationReport(
         real=real,
         num_ues=num_ues,
         generation_hour=generation_hour,
         results=results,
+        engine=engine,
     )

@@ -39,7 +39,7 @@ import os
 import shutil
 import tempfile
 from functools import lru_cache
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,8 +48,13 @@ from ..clustering.quadtree import ClusteringResult, adaptive_cluster, single_clu
 from ..distributions.base import FitError
 from ..distributions.empirical import EmpiricalCDF
 from ..distributions.exponential import Exponential
-from ..statemachines import lte
-from ..statemachines.replay import TransitionRecord, _canonical_source_for
+from ..statemachines.compiled_replay import (  # noqa: F401  (re-exported)
+    MachineTable,
+    VectorizedReplay,
+    _replay_codes,
+    lower_machine,
+    vectorized_replay,
+)
 from ..telemetry import RunTelemetry, get_telemetry, use_telemetry
 from ..trace.events import SECONDS_PER_HOUR, DeviceType, EventType
 from ..trace.trace import Trace
@@ -81,232 +86,16 @@ _NUM_EVENTS = int(max(EventType)) + 1
 # ---------------------------------------------------------------------------
 # Machine lowering
 # ---------------------------------------------------------------------------
-
-@dataclasses.dataclass(frozen=True)
-class MachineTable:
-    """A state machine lowered to integer lookup tables.
-
-    State codes index ``names`` (sorted state names, so code order ==
-    the reference fitter's name-sorted source order).  ``-1`` marks
-    invalid entries throughout.
-    """
-
-    machine_name: str
-    names: Tuple[str, ...]
-    next_state: np.ndarray     #: (S, E) target code, -1 if cannot fire
-    canon: np.ndarray          #: (E,) canonical forced source, -1 if none
-    fallback_next: np.ndarray  #: (E,) target code after forcing
-    total: np.ndarray          #: (E, S) forced-apply function table
-    const_target: np.ndarray   #: (E,) target if source-independent, else -1
-    parent_names: Tuple[str, ...]
-    parent_code: np.ndarray    #: (S,) top-level state code per state
-    connected_code: int        #: parent code of CONNECTED (-1 if absent)
-    idle_code: int             #: parent code of IDLE (-1 if absent)
-
-    @property
-    def num_states(self) -> int:
-        return len(self.names)
-
-    @property
-    def num_events(self) -> int:
-        return _NUM_EVENTS
-
-
-def lower_machine(machine) -> MachineTable:
-    """Lower ``machine`` to the integer tables the compiled replay uses."""
-    names = tuple(sorted(machine.states))
-    code = {name: i for i, name in enumerate(names)}
-    num_states = len(names)
-    next_state = np.full((num_states, _NUM_EVENTS), -1, dtype=np.int16)
-    for s_i, state in enumerate(names):
-        for event in EventType:
-            if machine.can_fire(state, event):
-                next_state[s_i, int(event)] = code[machine.next_state(state, event)]
-    canon = np.full(_NUM_EVENTS, -1, dtype=np.int16)
-    for event in EventType:
-        try:
-            canon[int(event)] = code[_canonical_source_for(machine, event)]
-        except ValueError:
-            pass  # event has no source state in this machine
-    fallback_next = np.where(
-        canon >= 0,
-        next_state[np.maximum(canon, 0), np.arange(_NUM_EVENTS)],
-        np.int16(-1),
-    ).astype(np.int16)
-    # total[e, s]: the state reached by firing e from s, forcing to the
-    # canonical source when the transition is invalid — the *total*
-    # function the lenient replay applies per event.
-    total = np.where(
-        next_state.T >= 0, next_state.T, fallback_next[:, None]
-    ).astype(np.int16)
-    # Events whose total row is constant (same target from every source)
-    # are reset points: the state after one is known without looking
-    # left, so the replay scan never has to compose across them.  In
-    # the paper's machines most events are like this — all of them for
-    # emm_ecm and nr_sa, everything but S1_CONN_REL/TAU for two_level.
-    const_target = np.where(
-        (canon >= 0) & (total == total[:, :1]).all(axis=1),
-        total[:, 0],
-        np.int16(-1),
-    ).astype(np.int16)
-
-    parent_fn = getattr(machine, "parent", lambda state: state)
-    parent_names = tuple(sorted({parent_fn(state) for state in names}))
-    parent_of = {name: i for i, name in enumerate(parent_names)}
-    parent_code = np.asarray(
-        [parent_of[parent_fn(state)] for state in names], dtype=np.int16
-    )
-    return MachineTable(
-        machine_name=machine.name,
-        names=names,
-        next_state=next_state,
-        canon=canon,
-        fallback_next=fallback_next,
-        total=total,
-        const_target=const_target,
-        parent_names=parent_names,
-        parent_code=parent_code,
-        connected_code=parent_of.get(lte.CONNECTED, -1),
-        idle_code=parent_of.get(lte.IDLE, -1),
-    )
-
+# The lowering itself (MachineTable, lower_machine) and the segmented
+# replay scan (_replay_codes, vectorized_replay) live in
+# :mod:`repro.statemachines.compiled_replay` — they are state-machine
+# primitives shared with the compiled evaluation engine — and are
+# re-exported here for backwards compatibility.
 
 @lru_cache(maxsize=None)
 def machine_table(machine_kind: str) -> MachineTable:
     """Cached :func:`lower_machine` for a named machine kind."""
     return lower_machine(build_machine(machine_kind))
-
-
-# ---------------------------------------------------------------------------
-# Vectorized replay
-# ---------------------------------------------------------------------------
-
-def _replay_codes(
-    events: np.ndarray, first: np.ndarray, table: MachineTable
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Replay a segmented event stream; returns (source, target, forced).
-
-    ``events`` is an int array of event codes, ``first`` flags the first
-    event of each segment (each segment replays like an independent
-    ``replay_ue`` call with unknown initial state).
-
-    The state trajectory is reconstructed with a segmented
-    Hillis–Steele scan over *function* rows: row ``i`` is the total
-    state map of event ``i`` (constant for segment-first events, whose
-    source is forced to the canonical state), and composing rows within
-    a segment yields, in ``O(log n)`` passes, the constant map "state
-    after event ``i``".
-    """
-    n = len(events)
-    empty = np.empty(0, dtype=np.int16)
-    if n == 0:
-        return empty, empty, np.empty(0, dtype=bool)
-    bad = table.canon[events] < 0
-    if bad.any():
-        event = EventType(int(events[int(np.argmax(bad))]))
-        raise ValueError(
-            f"event {event.name} has no source state in {table.machine_name}"
-        )
-
-    rows_f = table.total[events].copy()  # (n, S)
-    rows_f[first] = table.fallback_next[events[first]][:, None]
-    # Scan barriers: segment firsts AND constant-row events.  A constant
-    # row already *is* the map "state after this event", so composition
-    # only has to run inside the (short) runs of source-dependent events
-    # between barriers — for emm_ecm and nr_sa every event is constant
-    # and the loop below exits after one empty pass.
-    reset = first | (table.const_target[events] >= 0)
-    idx = np.arange(n)
-    start_of = np.maximum.accumulate(np.where(reset, idx, -1))
-    stride = 1
-    while True:
-        rows = np.flatnonzero(idx >= stride)
-        rows = rows[(rows - stride) >= start_of[rows]]
-        if rows.size == 0:
-            break
-        # Compose: new[i](s) = F_i(F_{i-stride}(s)).  Both gathers read
-        # pre-update values before the assignment writes back.
-        rows_f[rows] = np.take_along_axis(
-            rows_f[rows], rows_f[rows - stride].astype(np.intp), axis=1
-        )
-        stride *= 2
-    state_after = rows_f[:, 0]
-
-    prev = np.empty(n, dtype=np.int64)
-    prev[0] = 0
-    prev[1:] = state_after[:-1]
-    prev_safe = np.where(first, 0, prev)
-    forced = first | (table.next_state[prev_safe, events] < 0)
-    source = np.where(forced, table.canon[events], prev_safe).astype(np.int16)
-    return source, state_after.astype(np.int16), forced
-
-
-@dataclasses.dataclass
-class VectorizedReplay:
-    """Array-valued result of :func:`vectorized_replay` for one UE."""
-
-    sources: np.ndarray    #: (n,) source state codes
-    targets: np.ndarray    #: (n,) target state codes
-    events: np.ndarray     #: (n,) event codes
-    times: np.ndarray      #: (n,) fire times
-    forced: np.ndarray     #: (n,) bool, True where the decoder forced
-    state_names: Tuple[str, ...]
-    violations: int
-    final_state: Optional[str]
-
-    def records(self) -> List[TransitionRecord]:
-        """Decode to the reference :class:`TransitionRecord` stream."""
-        out: List[TransitionRecord] = []
-        names = self.state_names
-        for i in range(len(self.events)):
-            forced = bool(self.forced[i])
-            out.append(
-                TransitionRecord(
-                    source=names[int(self.sources[i])],
-                    event=EventType(int(self.events[i])),
-                    target=names[int(self.targets[i])],
-                    enter_time=None if forced else float(self.times[i - 1]),
-                    fire_time=float(self.times[i]),
-                    forced=forced,
-                )
-            )
-        return out
-
-
-def vectorized_replay(
-    event_types: Sequence[int],
-    times: Sequence[float],
-    machine=None,
-) -> VectorizedReplay:
-    """Array-at-a-time equivalent of :func:`repro.statemachines.replay.replay_ue`.
-
-    Produces the identical transition stream (source, event, target,
-    enter/fire times, forced flags) for one UE's chronological event
-    sequence, with unknown initial state.
-    """
-    if machine is None:
-        machine = lte.two_level_machine()
-    events = np.asarray(event_types, dtype=np.int64).ravel()
-    fire_times = np.asarray(times, dtype=np.float64).ravel()
-    if len(events) != len(fire_times):
-        raise ValueError("event_types and times must have equal length")
-    table = lower_machine(machine)
-    first = np.zeros(len(events), dtype=bool)
-    if len(events):
-        first[0] = True
-    sources, targets, forced = _replay_codes(events, first, table)
-    violations = int(np.count_nonzero(forced & ~first))
-    final_state = table.names[int(targets[-1])] if len(events) else None
-    return VectorizedReplay(
-        sources=sources,
-        targets=targets,
-        events=events,
-        times=fire_times,
-        forced=forced,
-        state_names=table.names,
-        violations=violations,
-        final_state=final_state,
-    )
 
 
 # ---------------------------------------------------------------------------

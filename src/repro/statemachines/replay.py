@@ -164,11 +164,34 @@ def _canonical_source_for(
     raise ValueError(f"event {event.name} has no source state in {machine.name}")
 
 
+#: Available whole-trace replay engines.
+REPLAY_ENGINES = ("reference", "compiled")
+
+
 def replay_trace(
     trace: Trace,
     machine: Optional[HierarchicalStateMachine] = None,
-) -> Dict[int, ReplayResult]:
-    """Replay every UE of ``trace`` independently."""
+    *,
+    engine: str = "reference",
+):
+    """Replay every UE of ``trace`` independently.
+
+    ``engine="reference"`` walks each UE event by event and returns the
+    ``{ue: ReplayResult}`` mapping; ``engine="compiled"`` lowers the
+    machine to integer tables and replays the whole trace as flat
+    arrays, returning an equivalent
+    :class:`repro.statemachines.compiled_replay.TraceReplay` (its
+    ``to_results()`` decodes to exactly the reference mapping).  The
+    derived functions in this module accept either shape.
+    """
+    if engine not in REPLAY_ENGINES:
+        raise ValueError(
+            f"unknown replay engine {engine!r}; expected one of {REPLAY_ENGINES}"
+        )
+    if engine == "compiled":
+        from .compiled_replay import replay_trace_compiled
+
+        return replay_trace_compiled(trace, machine)
     if machine is None:
         machine = lte.two_level_machine()
     return {
@@ -182,15 +205,19 @@ def replay_trace(
 # ---------------------------------------------------------------------------
 
 def sojourn_samples(
-    results: Dict[int, ReplayResult],
+    results,
     *,
     include_forced: bool = False,
 ) -> Dict[Tuple[str, EventType], np.ndarray]:
     """Group sojourn durations by (source state, triggering event).
 
     Records whose enter time is unknown, or that the decoder had to
-    force (unless ``include_forced``), are skipped.
+    force (unless ``include_forced``), are skipped.  Accepts either the
+    reference ``{ue: ReplayResult}`` mapping or a compiled
+    ``TraceReplay``.
     """
+    if not isinstance(results, dict):
+        return results.sojourn_samples(include_forced=include_forced)
     grouped: Dict[Tuple[str, EventType], List[float]] = {}
     for result in results.values():
         for rec in result.records:
@@ -206,9 +233,15 @@ def sojourn_samples(
 
 
 def transition_counts(
-    results: Dict[int, ReplayResult],
+    results,
 ) -> Dict[Tuple[str, EventType, str], int]:
-    """Count observed (source, event, target) transitions across UEs."""
+    """Count observed (source, event, target) transitions across UEs.
+
+    Accepts either the reference ``{ue: ReplayResult}`` mapping or a
+    compiled ``TraceReplay``.
+    """
+    if not isinstance(results, dict):
+        return results.transition_counts()
     counts: Dict[Tuple[str, EventType, str], int] = {}
     for result in results.values():
         for rec in result.records:
@@ -254,14 +287,18 @@ def top_level_intervals(
 
 
 def top_state_sojourns(
-    results: Dict[int, ReplayResult],
+    results,
     machine: Optional[HierarchicalStateMachine] = None,
 ) -> Dict[str, np.ndarray]:
     """Durations of complete top-level state visits, grouped by state.
 
     This yields the CONNECTED / IDLE / DEREGISTERED sojourn samples the
-    paper fits and compares (Figs. 3-4, Table 5).
+    paper fits and compares (Figs. 3-4, Table 5).  Accepts either the
+    reference ``{ue: ReplayResult}`` mapping or a compiled
+    ``TraceReplay`` (which already carries its machine's tables).
     """
+    if not isinstance(results, dict):
+        return results.top_state_sojourns()
     if machine is None:
         machine = lte.two_level_machine()
     grouped: Dict[str, List[float]] = {}
@@ -277,6 +314,8 @@ def top_state_sojourns(
 
 def classify_category2_events(
     trace: Trace,
+    *,
+    engine: str = "compiled",
 ) -> Dict[Tuple[EventType, str], int]:
     """Count ``HO``/``TAU`` events by the top-level state they occur in.
 
@@ -285,7 +324,19 @@ def classify_category2_events(
     tracked leniently from Category-1 events only, so traces violating
     the two-level machine (e.g. Base-synthesized traces with ``HO`` in
     IDLE) are classified faithfully rather than corrected.
+
+    Both engines return identical counts; ``"compiled"`` replaces the
+    per-event Python loop with a vectorized per-UE forward fill and the
+    ``"reference"`` loop is kept as the oracle.
     """
+    if engine not in REPLAY_ENGINES:
+        raise ValueError(
+            f"unknown replay engine {engine!r}; expected one of {REPLAY_ENGINES}"
+        )
+    if engine == "compiled":
+        from .compiled_replay import classify_category2_arrays
+
+        return classify_category2_arrays(trace)
     counts: Dict[Tuple[EventType, str], int] = {
         (EventType.HO, lte.CONNECTED): 0,
         (EventType.HO, lte.IDLE): 0,

@@ -26,6 +26,8 @@ def ecdf(samples: ArrayLike) -> Tuple[np.ndarray, np.ndarray]:
 def evaluate_ecdf(samples: ArrayLike, x: ArrayLike) -> np.ndarray:
     """Evaluate the right-continuous ECDF of ``samples`` at points ``x``."""
     arr = np.sort(np.asarray(samples, dtype=np.float64).ravel())
+    if arr.size == 0:
+        raise ValueError("cannot evaluate an ECDF from zero samples")
     x = np.asarray(x, dtype=np.float64)
     return np.searchsorted(arr, x, side="right") / arr.size
 

@@ -10,9 +10,12 @@ from .breakdown import (
 )
 from .microscopic import (
     ACTIVITY_THRESHOLD,
+    MICRO_QUANTITIES,
     activity_split_ydistance,
     count_ydistance,
+    device_sojourns,
     micro_comparison,
+    micro_comparison_partial,
     per_ue_counts,
     sojourn_ydistance,
     state_sojourns,
@@ -25,16 +28,19 @@ __all__ = [
     "compare_aggregate",
     "rate_curve",
     "BREAKDOWN_ROWS",
+    "MICRO_QUANTITIES",
     "activity_split_ydistance",
     "breakdown_difference",
     "breakdown_with_states",
     "count_ydistance",
+    "device_sojourns",
     "format_percent",
     "format_ratio",
     "format_table",
     "macro_comparison",
     "max_abs_breakdown_difference",
     "micro_comparison",
+    "micro_comparison_partial",
     "per_ue_counts",
     "sojourn_ydistance",
     "state_sojourns",

@@ -36,14 +36,17 @@ BREAKDOWN_ROWS: Tuple[str, ...] = (
 
 
 def breakdown_with_states(
-    trace: Trace, device_type: DeviceType
+    trace: Trace,
+    device_type: DeviceType,
+    *,
+    engine: str = "compiled",
 ) -> Dict[str, float]:
     """Eight-row event breakdown (fractions of all events) for one device."""
     sub = trace.filter_device(device_type)
     total = len(sub)
     if total == 0:
         return {row: 0.0 for row in BREAKDOWN_ROWS}
-    cat2 = classify_category2_events(sub)
+    cat2 = classify_category2_events(sub, engine=engine)
     counts = {
         "ATCH": int(np.count_nonzero(sub.event_types == int(EventType.ATCH))),
         "DTCH": int(np.count_nonzero(sub.event_types == int(EventType.DTCH))),
@@ -60,19 +63,27 @@ def breakdown_with_states(
 
 
 def breakdown_difference(
-    real: Trace, synthesized: Trace, device_type: DeviceType
+    real: Trace,
+    synthesized: Trace,
+    device_type: DeviceType,
+    *,
+    engine: str = "compiled",
 ) -> Dict[str, float]:
     """Signed per-row difference (synthesized - real), in fractions."""
-    rb = breakdown_with_states(real, device_type)
-    sb = breakdown_with_states(synthesized, device_type)
+    rb = breakdown_with_states(real, device_type, engine=engine)
+    sb = breakdown_with_states(synthesized, device_type, engine=engine)
     return {row: sb[row] - rb[row] for row in BREAKDOWN_ROWS}
 
 
 def max_abs_breakdown_difference(
-    real: Trace, synthesized: Trace, device_type: DeviceType
+    real: Trace,
+    synthesized: Trace,
+    device_type: DeviceType,
+    *,
+    engine: str = "compiled",
 ) -> float:
     """The largest |row difference| — the headline number of §8.1.1."""
-    diffs = breakdown_difference(real, synthesized, device_type)
+    diffs = breakdown_difference(real, synthesized, device_type, engine=engine)
     return max(abs(v) for v in diffs.values())
 
 

@@ -34,17 +34,23 @@ def per_ue_counts(
 
     ``num_ues`` is the nominal population of that device type (UEs with
     no events at all are invisible in the trace but still part of the
-    population the CDF describes).
+    population the CDF describes).  Computed with one ``bincount`` over
+    UE codes instead of materializing a per-UE dict — at million-UE
+    scale the dict path dominated the whole Table-5 computation.
     """
     sub = trace.filter_device(device_type)
-    counts = list(sub.events_per_ue(event_type).values())
-    if num_ues is not None:
-        if num_ues < len(counts):
-            raise ValueError(
-                f"num_ues={num_ues} smaller than UEs present ({len(counts)})"
-            )
-        counts.extend([0] * (num_ues - len(counts)))
-    return np.asarray(sorted(counts), dtype=np.float64)
+    ues = sub.unique_ues()
+    present = len(ues)
+    if num_ues is not None and num_ues < present:
+        raise ValueError(
+            f"num_ues={num_ues} smaller than UEs present ({present})"
+        )
+    mask = sub.event_types == int(event_type)
+    counts = np.bincount(
+        np.searchsorted(ues, sub.ue_ids[mask]),
+        minlength=num_ues if num_ues is not None else present,
+    )
+    return np.sort(counts.astype(np.float64))
 
 
 def count_ydistance(
@@ -66,14 +72,34 @@ def count_ydistance(
     return max_y_distance(real_counts, syn_counts)
 
 
+def device_sojourns(
+    trace: Trace,
+    device_type: DeviceType,
+    *,
+    engine: str = "reference",
+) -> Dict[str, np.ndarray]:
+    """Complete top-level sojourns of one device cohort, by state.
+
+    One replay serves every state — callers comparing both CONNECTED
+    and IDLE should use this instead of calling :func:`state_sojourns`
+    per state, which replays the cohort each time.
+    """
+    sub = trace.filter_device(device_type)
+    results = replay_trace(sub, engine=engine)
+    return top_state_sojourns(results)
+
+
 def state_sojourns(
-    trace: Trace, device_type: DeviceType, state: str
+    trace: Trace,
+    device_type: DeviceType,
+    state: str,
+    *,
+    engine: str = "reference",
 ) -> np.ndarray:
     """All complete sojourn durations in a top-level state, across UEs."""
-    sub = trace.filter_device(device_type)
-    results = replay_trace(sub)
-    sojourns = top_state_sojourns(results)
-    return sojourns.get(state, np.empty(0))
+    return device_sojourns(trace, device_type, engine=engine).get(
+        state, np.empty(0)
+    )
 
 
 def sojourn_ydistance(
@@ -81,10 +107,12 @@ def sojourn_ydistance(
     synthesized: Trace,
     device_type: DeviceType,
     state: str,
+    *,
+    engine: str = "reference",
 ) -> float:
     """Max y-distance between sojourn CDFs (Table 5, bottom half)."""
-    real_s = state_sojourns(real, device_type, state)
-    syn_s = state_sojourns(synthesized, device_type, state)
+    real_s = state_sojourns(real, device_type, state, engine=engine)
+    syn_s = state_sojourns(synthesized, device_type, state, engine=engine)
     if real_s.size == 0 or syn_s.size == 0:
         raise ValueError(
             f"no complete {state} sojourns for {device_type.name} "
@@ -130,6 +158,67 @@ def activity_split_ydistance(
     return out[0], out[1]
 
 
+#: Table-5 rows, in presentation order: per-UE event-count CDFs first,
+#: then top-level sojourn CDFs.
+MICRO_QUANTITIES = ("SRV_REQ", "S1_CONN_REL", "CONNECTED", "IDLE")
+
+_COUNT_QUANTITIES = {
+    "SRV_REQ": EventType.SRV_REQ,
+    "S1_CONN_REL": EventType.S1_CONN_REL,
+}
+
+
+def micro_comparison_partial(
+    real: Trace,
+    synthesized: Trace,
+    device_type: DeviceType,
+    *,
+    real_num_ues: Optional[int] = None,
+    syn_num_ues: Optional[int] = None,
+    engine: str = "reference",
+) -> Tuple[Dict[str, float], Dict[str, str]]:
+    """One Table-5 column, reporting every computable quantity.
+
+    Returns ``(values, skipped)``: each of :data:`MICRO_QUANTITIES`
+    lands in exactly one of the two dicts — ``values`` with its
+    y-distance, or ``skipped`` with the reason it could not be measured
+    (e.g. no complete IDLE sojourn in a short trace).  Quantities are
+    independent: one failing never discards the others.
+
+    Both traces' cohorts are replayed once each, serving the CONNECTED
+    and IDLE rows together.
+    """
+    from ..statemachines import lte
+
+    values: Dict[str, float] = {}
+    skipped: Dict[str, str] = {}
+    for name, event_type in _COUNT_QUANTITIES.items():
+        try:
+            values[name] = count_ydistance(
+                real,
+                synthesized,
+                device_type,
+                event_type,
+                real_num_ues=real_num_ues,
+                syn_num_ues=syn_num_ues,
+            )
+        except ValueError as exc:
+            skipped[name] = str(exc)
+    real_soj = device_sojourns(real, device_type, engine=engine)
+    syn_soj = device_sojourns(synthesized, device_type, engine=engine)
+    for state in (lte.CONNECTED, lte.IDLE):
+        real_s = real_soj.get(state, np.empty(0))
+        syn_s = syn_soj.get(state, np.empty(0))
+        if real_s.size == 0 or syn_s.size == 0:
+            skipped[state] = (
+                f"no complete {state} sojourns for {device_type.name} "
+                "in one of the traces"
+            )
+        else:
+            values[state] = max_y_distance(real_s, syn_s)
+    return values, skipped
+
+
 def micro_comparison(
     real: Trace,
     synthesized: Trace,
@@ -137,27 +226,22 @@ def micro_comparison(
     *,
     real_num_ues: Optional[int] = None,
     syn_num_ues: Optional[int] = None,
+    engine: str = "reference",
 ) -> Dict[str, float]:
-    """One Table-5 column: count and sojourn y-distances for a method."""
-    from ..statemachines import lte
+    """One Table-5 column: count and sojourn y-distances for a method.
 
-    return {
-        "SRV_REQ": count_ydistance(
-            real,
-            synthesized,
-            device_type,
-            EventType.SRV_REQ,
-            real_num_ues=real_num_ues,
-            syn_num_ues=syn_num_ues,
-        ),
-        "S1_CONN_REL": count_ydistance(
-            real,
-            synthesized,
-            device_type,
-            EventType.S1_CONN_REL,
-            real_num_ues=real_num_ues,
-            syn_num_ues=syn_num_ues,
-        ),
-        "CONNECTED": sojourn_ydistance(real, synthesized, device_type, lte.CONNECTED),
-        "IDLE": sojourn_ydistance(real, synthesized, device_type, lte.IDLE),
-    }
+    Raises :class:`ValueError` if any quantity cannot be measured; use
+    :func:`micro_comparison_partial` to keep the computable ones.
+    """
+    values, skipped = micro_comparison_partial(
+        real,
+        synthesized,
+        device_type,
+        real_num_ues=real_num_ues,
+        syn_num_ues=syn_num_ues,
+        engine=engine,
+    )
+    for name in MICRO_QUANTITIES:
+        if name in skipped:
+            raise ValueError(skipped[name])
+    return values

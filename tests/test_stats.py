@@ -40,6 +40,11 @@ class TestEcdf:
         values = evaluate_ecdf([1.0, 2.0, 3.0], [0.5, 2.0, 10.0])
         assert list(values) == pytest.approx([0.0, 2 / 3, 1.0])
 
+    def test_evaluate_ecdf_empty_rejected(self):
+        # Regression: this used to divide by zero and return NaNs.
+        with pytest.raises(ValueError, match="zero samples"):
+            evaluate_ecdf([], [1.0, 2.0])
+
     def test_max_y_distance_identical(self):
         assert max_y_distance([1, 2, 3], [1, 2, 3]) == 0.0
 

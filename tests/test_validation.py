@@ -19,6 +19,7 @@ from repro.validation import (
     macro_comparison,
     max_abs_breakdown_difference,
     micro_comparison,
+    micro_comparison_partial,
     per_ue_counts,
     sojourn_ydistance,
 )
@@ -134,6 +135,58 @@ class TestYdistances:
             ground_truth_trace.window(3600.0, 7200.0), synthesized_trace, P
         )
         assert set(metrics) == {"SRV_REQ", "S1_CONN_REL", "CONNECTED", "IDLE"}
+
+    def test_count_padding_changes_distance(self):
+        # Regression (Scenario 2 bias): without population padding two
+        # cohorts of different sizes but identical per-active-UE counts
+        # look indistinguishable; the zero-event UEs are the difference.
+        real = make_trace([(1, 1.0, E.SRV_REQ, P), (2, 2.0, E.SRV_REQ, P)])
+        syn = make_trace([(7, 1.5, E.SRV_REQ, P)])
+        assert count_ydistance(real, syn, P, E.SRV_REQ) == 0.0
+        assert (
+            count_ydistance(real, syn, P, E.SRV_REQ, syn_num_ues=2) == 0.5
+        )
+
+
+#: Each UE closes an IDLE sojourn (release -> service request) but its
+#: CONNECTED interval never closes: first interval has no start, last
+#: has no end.
+_NO_CONNECTED_ROWS = [
+    (1, 10.0, E.S1_CONN_REL, P),
+    (1, 20.0, E.SRV_REQ, P),
+    (2, 5.0, E.S1_CONN_REL, P),
+    (2, 50.0, E.SRV_REQ, P),
+]
+
+
+class TestMicroComparisonPartial:
+    def test_partial_reports_computable_quantities(self, ground_truth_trace):
+        # Regression: the harness used to wrap all four quantities in a
+        # single try/except, so one missing sojourn discarded every
+        # micro-metric for the device.
+        real = make_trace(_NO_CONNECTED_ROWS)
+        syn = ground_truth_trace.window(3600.0, 7200.0)
+        values, skipped = micro_comparison_partial(real, syn, P)
+        assert set(values) == {"SRV_REQ", "S1_CONN_REL", "IDLE"}
+        assert set(skipped) == {"CONNECTED"}
+        assert "CONNECTED" in skipped["CONNECTED"]
+        assert "PHONE" in skipped["CONNECTED"]
+
+    def test_strict_comparison_raises(self, ground_truth_trace):
+        real = make_trace(_NO_CONNECTED_ROWS)
+        syn = ground_truth_trace.window(3600.0, 7200.0)
+        with pytest.raises(ValueError, match="CONNECTED"):
+            micro_comparison(real, syn, P)
+
+    def test_engines_agree(self, ground_truth_trace, synthesized_trace):
+        real = ground_truth_trace.window(3600.0, 7200.0)
+        ref = micro_comparison_partial(
+            real, synthesized_trace, P, engine="reference"
+        )
+        comp = micro_comparison_partial(
+            real, synthesized_trace, P, engine="compiled"
+        )
+        assert ref == comp
 
 
 class TestReportFormatting:
